@@ -1,0 +1,92 @@
+// Reproduces Fig. 5: average packet latency as a function of the link
+// limit C on 4x4, 8x8 and 16x16 networks, for the proposed D&C_SA, the
+// OnlySA ablation, and the fixed Mesh/HFB designs, plus the head (L_D) and
+// serialization (L_S) decomposition of D&C_SA. Also prints the paper's
+// headline reductions (23.5%/8.0% on 8x8, 36.4%/20.1% on 16x16).
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/c_sweep.hpp"
+#include "exp/scenarios.hpp"
+#include "util/csv.hpp"
+#include "util/numeric.hpp"
+#include "util/table.hpp"
+
+using namespace xlp;
+
+namespace {
+
+void run_size(int n) {
+  std::printf("\n=== Fig. 5 (%dx%d): average packet latency vs link limit C "
+              "===\n",
+              n, n);
+
+  core::SweepOptions options = exp::default_sweep_options(n);
+  Rng dcsa_rng(1001 + n);
+  const auto dcsa = core::sweep_link_limits(n, options, dcsa_rng);
+
+  options.solver = core::Solver::kOnlySa;
+  Rng only_rng(2002 + n);
+  const auto only = core::sweep_link_limits(n, options, only_rng);
+
+  const auto fixed = exp::fixed_designs(n);
+  const double mesh_total =
+      core::evaluate_design(fixed[0].design, options.latency,
+                            options.report_traffic)
+          .total();
+  const double hfb_total =
+      core::evaluate_design(fixed[1].design, options.latency,
+                            options.report_traffic)
+          .total();
+
+  Table table({"C", "D&C_SA", "OnlySA", "L_D(D&C_SA)", "L_S"});
+  CsvWriter csv({"n", "C", "dcsa_total", "onlysa_total", "dcsa_head",
+                 "serialization", "mesh_total", "hfb_total"});
+  for (std::size_t i = 0; i < dcsa.size(); ++i) {
+    table.add_row({std::to_string(dcsa[i].link_limit),
+                   Table::fmt(dcsa[i].breakdown.total()),
+                   Table::fmt(only[i].breakdown.total()),
+                   Table::fmt(dcsa[i].breakdown.head),
+                   Table::fmt(dcsa[i].breakdown.serialization)});
+    csv.add_row({std::to_string(n), std::to_string(dcsa[i].link_limit),
+                 Table::fmt(dcsa[i].breakdown.total(), 4),
+                 Table::fmt(only[i].breakdown.total(), 4),
+                 Table::fmt(dcsa[i].breakdown.head, 4),
+                 Table::fmt(dcsa[i].breakdown.serialization, 4),
+                 Table::fmt(mesh_total, 4), Table::fmt(hfb_total, 4)});
+  }
+  table.print(std::cout);
+  if (const std::string dir = csv_output_dir(); !dir.empty()) {
+    const std::string path =
+        dir + "/fig05_" + std::to_string(n) + "x" + std::to_string(n) +
+        ".csv";
+    std::printf("  csv: %s %s\n", path.c_str(),
+                csv.write_file(path) ? "written" : "NOT WRITTEN");
+  }
+  std::printf("  fixed points: Mesh = %.2f cycles (C=1), HFB = %.2f cycles "
+              "(C=%d)\n",
+              mesh_total, hfb_total, fixed[1].design.link_limit());
+
+  const auto& best = dcsa[core::best_point(dcsa)];
+  const auto& best_only = only[core::best_point(only)];
+  std::printf("  best D&C_SA: C=%d, %.2f cycles, placement %s\n",
+              best.link_limit, best.breakdown.total(),
+              best.placement.placement.to_string().c_str());
+  std::printf("  reduction vs Mesh: %.1f%%   vs HFB: %.1f%%   OnlySA gap: "
+              "+%.1f%%\n",
+              -percent_change(best.breakdown.total(), mesh_total),
+              -percent_change(best.breakdown.total(), hfb_total),
+              percent_change(best_only.breakdown.total(),
+                             best.breakdown.total()));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 5 reproduction — paper expectations: best C interior; "
+              "D&C_SA < HFB < Mesh;\nreductions vs Mesh/HFB: 8.1%%/~0%% "
+              "(4x4), 23.5%%/8.0%% (8x8), 36.4%%/20.1%% (16x16).\n");
+  for (const int n : {4, 8, 16}) run_size(n);
+  return 0;
+}

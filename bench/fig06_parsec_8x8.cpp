@@ -1,0 +1,53 @@
+// Reproduces Fig. 6: average packet latency of Mesh, HFB and D&C_SA on the
+// 8x8 network for each of the ten PARSEC benchmarks (simulated at each
+// benchmark's load on the flit-level simulator), plus the cross-benchmark
+// average.
+
+#include <cstdio>
+#include <iostream>
+
+#include "exp/scenarios.hpp"
+#include "util/numeric.hpp"
+#include "util/table.hpp"
+
+using namespace xlp;
+
+int main() {
+  std::printf("Fig. 6 reproduction — per-benchmark latency on 8x8; paper "
+              "expectation:\nD&C_SA achieves a similar reduction across all "
+              "benchmarks (~23.5%% vs Mesh).\n\n");
+
+  const auto solved =
+      exp::solve_general_purpose(8, core::Solver::kDcsa, 42);
+  const auto& best = solved.points[solved.best];
+  std::printf("D&C_SA design: C=%d, placement %s\n\n", best.link_limit,
+              best.placement.placement.to_string().c_str());
+
+  const auto fixed = exp::fixed_designs(8);
+
+  Table table({"benchmark", "Mesh", "HFB", "D&C_SA", "vs Mesh", "vs HFB"});
+  double mesh_sum = 0, hfb_sum = 0, dcsa_sum = 0;
+  for (const auto& model : traffic::parsec_models()) {
+    const auto demand = model.traffic_matrix(8);
+    const auto config = exp::default_sim_config(7);
+    const auto mesh = exp::simulate_design(fixed[0].design, demand, config);
+    const auto hfb = exp::simulate_design(fixed[1].design, demand, config);
+    const auto dcsa = exp::simulate_design(best.design, demand, config);
+    mesh_sum += mesh.avg_latency;
+    hfb_sum += hfb.avg_latency;
+    dcsa_sum += dcsa.avg_latency;
+    table.add_row({model.name, Table::fmt(mesh.avg_latency),
+                   Table::fmt(hfb.avg_latency), Table::fmt(dcsa.avg_latency),
+                   Table::fmt(-percent_change(dcsa.avg_latency,
+                                              mesh.avg_latency), 1) + "%",
+                   Table::fmt(-percent_change(dcsa.avg_latency,
+                                              hfb.avg_latency), 1) + "%"});
+  }
+  const double k = traffic::parsec_models().size();
+  table.add_row({"average", Table::fmt(mesh_sum / k), Table::fmt(hfb_sum / k),
+                 Table::fmt(dcsa_sum / k),
+                 Table::fmt(-percent_change(dcsa_sum, mesh_sum), 1) + "%",
+                 Table::fmt(-percent_change(dcsa_sum, hfb_sum), 1) + "%"});
+  table.print(std::cout);
+  return 0;
+}

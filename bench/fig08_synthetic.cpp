@@ -1,0 +1,85 @@
+// Reproduces Fig. 8: (a) average packet latency at a typical low load and
+// (b) saturation throughput, for uniform random (UR), transpose (TP) and
+// bit-reverse (BR) traffic on the 8x8 network, comparing Mesh, HFB and the
+// proposed D&C_SA design.
+
+#include <cstdio>
+#include <iostream>
+
+#include "exp/scenarios.hpp"
+#include "sim/throughput.hpp"
+#include "util/numeric.hpp"
+#include "util/table.hpp"
+
+using namespace xlp;
+
+int main() {
+  std::printf("Fig. 8 reproduction — paper expectations: D&C_SA cuts latency "
+              "~24.4%% vs Mesh and\n~16.9%% vs HFB; HFB throughput < half of "
+              "Mesh; D&C_SA ~63.7%% above HFB and\n>3/4 of Mesh.\n\n");
+
+  const auto solved = exp::solve_general_purpose(8, core::Solver::kDcsa, 42);
+  const auto& best = solved.points[solved.best];
+  const auto fixed = exp::fixed_designs(8);
+
+  const sim::Network mesh_net(fixed[0].design, route::HopWeights{});
+  const sim::Network hfb_net(fixed[1].design, route::HopWeights{});
+  const sim::Network dcsa_net(best.design, route::HopWeights{});
+
+  const std::vector<std::pair<std::string, traffic::Pattern>> patterns = {
+      {"UR", traffic::Pattern::kUniformRandom},
+      {"TP", traffic::Pattern::kTranspose},
+      {"BR", traffic::Pattern::kBitReverse}};
+
+  sim::SimConfig low_cfg = exp::default_sim_config(3);
+  sim::SimConfig sat_cfg = exp::default_sim_config(4);
+  sat_cfg.warmup_cycles = std::max<long>(150, sat_cfg.warmup_cycles / 4);
+  sat_cfg.measure_cycles = std::max<long>(800, sat_cfg.measure_cycles / 5);
+  sat_cfg.drain_cycles = std::max<long>(800, sat_cfg.drain_cycles / 10);
+
+  Table latency({"pattern", "Mesh", "HFB", "D&C_SA"});
+  Table throughput({"pattern", "Mesh", "HFB", "D&C_SA"});
+  constexpr double kLowLoad = 0.02;  // packets/node/cycle, PARSEC-like
+
+  double lat[3] = {0, 0, 0};
+  double thr[3] = {0, 0, 0};
+  for (const auto& [name, pattern] : patterns) {
+    const auto shape = traffic::TrafficMatrix::from_pattern(pattern, 8, 1.0);
+
+    double row_lat[3];
+    double row_thr[3];
+    const sim::Network* nets[3] = {&mesh_net, &hfb_net, &dcsa_net};
+    for (int i = 0; i < 3; ++i) {
+      row_lat[i] =
+          sim::simulate_at_load(*nets[i], shape, kLowLoad, low_cfg)
+              .avg_latency;
+      row_thr[i] = sim::find_saturation(*nets[i], shape, sat_cfg, 0.04, 0.5)
+                       .saturation_throughput;
+      lat[i] += row_lat[i];
+      thr[i] += row_thr[i];
+    }
+    latency.add_row({name, Table::fmt(row_lat[0]), Table::fmt(row_lat[1]),
+                     Table::fmt(row_lat[2])});
+    throughput.add_row({name, Table::fmt(row_thr[0], 3),
+                        Table::fmt(row_thr[1], 3), Table::fmt(row_thr[2], 3)});
+  }
+  const double k = static_cast<double>(patterns.size());
+  latency.add_row({"Avg", Table::fmt(lat[0] / k), Table::fmt(lat[1] / k),
+                   Table::fmt(lat[2] / k)});
+  throughput.add_row({"Avg", Table::fmt(thr[0] / k, 3),
+                      Table::fmt(thr[1] / k, 3), Table::fmt(thr[2] / k, 3)});
+
+  std::printf("(a) Average packet latency (cycles) at %.2f packets/node/"
+              "cycle\n",
+              kLowLoad);
+  latency.print(std::cout);
+  std::printf("\n(b) Saturation throughput (packets/node/cycle)\n");
+  throughput.print(std::cout);
+
+  std::printf("\nsummary: D&C_SA latency %.1f%% below Mesh, %.1f%% below "
+              "HFB; throughput %.1f%% above HFB, %.0f%% of Mesh\n",
+              -percent_change(lat[2], lat[0]),
+              -percent_change(lat[2], lat[1]),
+              percent_change(thr[2], thr[1]), 100.0 * thr[2] / thr[0]);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces Fig. 9: router power consumption on the 8x8 network, per
+// PARSEC benchmark, split into static and dynamic components, for Mesh,
+// HFB and the proposed D&C_SA design. Values are normalized to the Mesh
+// total as in the paper's plot.
+
+#include <cstdio>
+#include <iostream>
+
+#include "exp/scenarios.hpp"
+#include "power/model.hpp"
+#include "util/numeric.hpp"
+#include "util/table.hpp"
+
+using namespace xlp;
+
+int main() {
+  std::printf("Fig. 9 reproduction — paper expectations: D&C_SA total router "
+              "power 10.4%% below\nMesh and ~0.6%% below HFB; dynamic power "
+              "down 15.1%%/6.6%%; static roughly equal\nand about two "
+              "thirds of the total.\n\n");
+
+  const auto solved = exp::solve_general_purpose(8, core::Solver::kDcsa, 42);
+  const auto& best = solved.points[solved.best];
+  const auto fixed = exp::fixed_designs(8);
+
+  Table table({"benchmark", "Mesh(s)", "Mesh(d)", "HFB(s)", "HFB(d)",
+               "DCSA(s)", "DCSA(d)"});
+  double totals[3] = {0, 0, 0};
+  double dynamics[3] = {0, 0, 0};
+  double statics[3] = {0, 0, 0};
+  for (const auto& model : traffic::parsec_models()) {
+    const auto demand = model.traffic_matrix(8);
+    const auto config = exp::default_sim_config(11);
+
+    const topo::ExpressMesh* designs[3] = {&fixed[0].design, &fixed[1].design,
+                                           &best.design};
+    power::PowerReport reports[3];
+    for (int i = 0; i < 3; ++i) {
+      const auto stats = exp::simulate_design(*designs[i], demand, config);
+      reports[i] = power::evaluate_power(*designs[i], stats.activity,
+                                         config.buffer_bits_per_router);
+      totals[i] += reports[i].total();
+      dynamics[i] += reports[i].dynamic_total();
+      statics[i] += reports[i].static_total();
+    }
+    const double mesh_total = reports[0].total();
+    table.add_row({model.name,
+                   Table::fmt(reports[0].static_total() / mesh_total),
+                   Table::fmt(reports[0].dynamic_total() / mesh_total),
+                   Table::fmt(reports[1].static_total() / mesh_total),
+                   Table::fmt(reports[1].dynamic_total() / mesh_total),
+                   Table::fmt(reports[2].static_total() / mesh_total),
+                   Table::fmt(reports[2].dynamic_total() / mesh_total)});
+  }
+  table.print(std::cout);
+
+  std::printf("\nsummary (average over benchmarks):\n");
+  std::printf("  total power:   D&C_SA %.1f%% below Mesh, %.1f%% below HFB\n",
+              -percent_change(totals[2], totals[0]),
+              -percent_change(totals[2], totals[1]));
+  std::printf("  dynamic power: D&C_SA %.1f%% below Mesh, %.1f%% below HFB\n",
+              -percent_change(dynamics[2], dynamics[0]),
+              -percent_change(dynamics[2], dynamics[1]));
+  std::printf("  static share of Mesh total: %.0f%%\n",
+              100.0 * statics[0] / totals[0]);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Extension bench: how does the paper's D&C_SA compare against other
+// generic optimizers at an equal evaluation budget? Baselines:
+//   * greedy long-range link insertion (Ogras & Marculescu [21] style),
+//   * steepest-descent hill climbing with restarts (no-temperature SA),
+//   * a genetic algorithm over connection matrices,
+//   * OnlySA (random-start annealing),
+// plus the exact optimum where branch-and-bound is feasible.
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/baselines.hpp"
+#include "core/branch_bound.hpp"
+#include "core/drivers.hpp"
+#include "exp/scenarios.hpp"
+#include "util/numeric.hpp"
+#include "util/table.hpp"
+
+using namespace xlp;
+
+int main() {
+  std::printf("Optimizer comparison at equal evaluation budgets (avg row "
+              "head latency; lower is\nbetter; gap is relative to the best "
+              "column in each row).\n\n");
+
+  const long budget = std::max<long>(
+      500, static_cast<long>(10000 * exp::bench_scale()));
+  constexpr int kSeeds = 3;
+
+  Table table({"problem", "exact", "D&C_SA", "OnlySA", "hill-climb", "GA",
+               "greedy", "D&C-only"});
+  for (const auto& [n, limit] :
+       {std::pair{8, 4}, std::pair{16, 4}, std::pair{16, 8},
+        std::pair{32, 4}}) {
+    const core::RowObjective obj(n, route::HopWeights{});
+    const core::SaParams sa = core::SaParams{}.with_moves(budget);
+
+    std::string exact_cell = "-";
+    if (n <= 8) {
+      core::BranchAndBound bb(obj, limit);
+      exact_cell = Table::fmt(bb.solve().value, 4);
+    }
+
+    double dcsa = 0, only = 0, hill = 0, ga = 0;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      Rng r1(seed), r2(seed + 10), r3(seed + 20), r4(seed + 30);
+      dcsa += core::solve_dcsa(obj, limit, sa, r1).value;
+      only += core::solve_only_sa(obj, limit, sa, r2).value;
+      hill += core::solve_hill_climb(obj, limit, budget, r3).value;
+      core::GaParams ga_params;
+      ga_params.max_evaluations = budget;
+      ga += core::solve_ga(obj, limit, ga_params, r4).value;
+    }
+    const auto greedy = core::solve_greedy_insertion(obj, limit);
+    const auto dnc = core::solve_dnc_only(obj, limit);
+
+    table.add_row({"P(" + std::to_string(n) + "," + std::to_string(limit) +
+                       ")",
+                   exact_cell, Table::fmt(dcsa / kSeeds, 4),
+                   Table::fmt(only / kSeeds, 4), Table::fmt(hill / kSeeds, 4),
+                   Table::fmt(ga / kSeeds, 4), Table::fmt(greedy.value, 4),
+                   Table::fmt(dnc.value, 4)});
+  }
+  table.print(std::cout);
+  std::printf("\n(the connection-matrix annealers and the hill climber "
+              "share the same search\nspace; greedy insertion and D&C-only "
+              "are constructive one-shot heuristics)\n");
+  return 0;
+}

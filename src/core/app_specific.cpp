@@ -1,0 +1,63 @@
+#include "core/app_specific.hpp"
+
+#include "topo/builders.hpp"
+#include "util/check.hpp"
+
+namespace xlp::core {
+
+AppSpecificResult solve_app_specific_for_limit(
+    const traffic::TrafficMatrix& demand, int link_limit,
+    const SweepOptions& options, Rng& rng) {
+  const int w = demand.width();
+  const int h = demand.height();
+  XLP_REQUIRE(options.base_flit_bits % link_limit == 0,
+              "link limit must divide the baseline flit width");
+
+  long evaluations = 0;
+  auto solve_weighted = [&](int length, std::vector<double> weights) {
+    const RowObjective objective(length, options.latency.hop,
+                                 std::move(weights));
+    PlacementResult result =
+        solve_dcsa(objective, link_limit, options.sa, rng, options.dnc);
+    evaluations += result.evaluations;
+    return result.placement;
+  };
+
+  std::vector<topo::RowTopology> rows;
+  std::vector<topo::RowTopology> cols;
+  rows.reserve(static_cast<std::size_t>(h));
+  cols.reserve(static_cast<std::size_t>(w));
+  for (int y = 0; y < h; ++y)
+    rows.push_back(solve_weighted(w, demand.row_weights(y)));
+  for (int x = 0; x < w; ++x)
+    cols.push_back(solve_weighted(h, demand.col_weights(x)));
+
+  topo::ExpressMesh design(
+      std::move(rows), std::move(cols), link_limit,
+      topo::flit_bits_for_limit(link_limit, options.base_flit_bits));
+
+  latency::LatencyBreakdown breakdown =
+      evaluate_design(design, options.latency, demand);
+  return {std::move(design), breakdown, link_limit, evaluations};
+}
+
+AppSpecificResult solve_app_specific(const traffic::TrafficMatrix& demand,
+                                     const SweepOptions& options, Rng& rng) {
+  // Feasible limits are bounded by the shorter dimension's C_full.
+  const int n = std::min(demand.width(), demand.height());
+  AppSpecificResult best;
+  bool first = true;
+  for (const int limit : topo::valid_link_limits(n)) {
+    if (options.base_flit_bits % limit != 0) continue;
+    AppSpecificResult candidate =
+        solve_app_specific_for_limit(demand, limit, options, rng);
+    if (first || candidate.breakdown.total() < best.breakdown.total()) {
+      best = std::move(candidate);
+      first = false;
+    }
+  }
+  XLP_CHECK(!first, "no feasible link limit found");
+  return best;
+}
+
+}  // namespace xlp::core

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "core/c_sweep.hpp"
+#include "traffic/matrix.hpp"
+
+namespace xlp::core {
+
+/// Application-specific placement (Section 5.6.4): when the traffic matrix
+/// gamma is known, each row and each column gets its *own* placement,
+/// optimized for the demand that dimension-order routing actually puts on
+/// it (rows see source-row demand, columns see destination-column demand).
+struct AppSpecificResult {
+  topo::ExpressMesh design{topo::RowTopology(2), 1, 1};
+  latency::LatencyBreakdown breakdown;  // weighted by the traffic matrix
+  int link_limit = 1;
+  long evaluations = 0;
+};
+
+/// Solves the application-specific problem for one link limit: 2n
+/// independent weighted 1D problems (n rows + n columns), each via D&C_SA.
+[[nodiscard]] AppSpecificResult solve_app_specific_for_limit(
+    const traffic::TrafficMatrix& demand, int link_limit,
+    const SweepOptions& options, Rng& rng);
+
+/// Full flow: sweep every feasible link limit and keep the design with the
+/// lowest demand-weighted average latency.
+[[nodiscard]] AppSpecificResult solve_app_specific(
+    const traffic::TrafficMatrix& demand, const SweepOptions& options,
+    Rng& rng);
+
+}  // namespace xlp::core

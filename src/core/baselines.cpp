@@ -1,0 +1,176 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "topo/connection_matrix.hpp"
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+namespace xlp::core {
+
+PlacementResult solve_greedy_insertion(const RowObjective& objective,
+                                       int link_limit) {
+  XLP_REQUIRE(link_limit >= 1, "link limit must be at least 1");
+  const int n = objective.row_size();
+  const long evals_before = objective.evaluations();
+  Stopwatch timer;
+
+  topo::RowTopology current(n);
+  double current_value = objective.evaluate(current);
+
+  while (true) {
+    topo::RowLink best_link{0, 0};
+    double best_value = current_value;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 2; j < n; ++j) {
+        topo::RowTopology candidate = current;
+        candidate.add_express({i, j});
+        if (!candidate.fits_link_limit(link_limit)) continue;
+        const double value = objective.evaluate(candidate);
+        if (value < best_value - 1e-12) {
+          best_value = value;
+          best_link = {i, j};
+        }
+      }
+    }
+    if (best_link.length() < 2) break;  // no improving insertion
+    current.add_express(best_link);
+    current_value = best_value;
+  }
+  return {std::move(current), current_value,
+          objective.evaluations() - evals_before, timer.seconds(),
+          "greedy-insertion"};
+}
+
+PlacementResult solve_hill_climb(const RowObjective& objective,
+                                 int link_limit, long max_evaluations,
+                                 Rng& rng) {
+  XLP_REQUIRE(max_evaluations >= 1, "need a positive evaluation budget");
+  const int n = objective.row_size();
+  const long evals_before = objective.evaluations();
+  Stopwatch timer;
+
+  topo::RowTopology best(n);
+  double best_value = objective.evaluate(best);
+
+  auto budget_left = [&] {
+    return objective.evaluations() - evals_before < max_evaluations;
+  };
+
+  while (budget_left()) {
+    topo::ConnectionMatrix current =
+        topo::ConnectionMatrix::random(n, link_limit, rng, 0.5);
+    double current_value = objective.evaluate(current.decode());
+    if (current.bit_count() == 0) break;  // only one state exists
+
+    bool improved = true;
+    while (improved && budget_left()) {
+      improved = false;
+      int best_bit = -1;
+      double best_neighbor = current_value;
+      for (int bit = 0; bit < current.bit_count() && budget_left(); ++bit) {
+        current.flip_flat(bit);
+        const double value = objective.evaluate(current.decode());
+        current.flip_flat(bit);
+        if (value < best_neighbor - 1e-12) {
+          best_neighbor = value;
+          best_bit = bit;
+        }
+      }
+      if (best_bit >= 0) {
+        current.flip_flat(best_bit);
+        current_value = best_neighbor;
+        improved = true;
+      }
+    }
+    if (current_value < best_value) {
+      best_value = current_value;
+      best = current.decode();
+    }
+  }
+  return {std::move(best), best_value,
+          objective.evaluations() - evals_before, timer.seconds(),
+          "hill-climb"};
+}
+
+PlacementResult solve_ga(const RowObjective& objective, int link_limit,
+                         const GaParams& params, Rng& rng) {
+  XLP_REQUIRE(params.population >= 2, "GA needs a population of at least 2");
+  XLP_REQUIRE(params.elites >= 0 && params.elites < params.population,
+              "elite count must be below the population size");
+  XLP_REQUIRE(params.tournament >= 1, "tournament size must be positive");
+  const int n = objective.row_size();
+  const long evals_before = objective.evaluations();
+  Stopwatch timer;
+
+  struct Individual {
+    topo::ConnectionMatrix genome;
+    double value;
+  };
+
+  const topo::ConnectionMatrix prototype(n, link_limit);
+  const int bits = prototype.bit_count();
+  const double mutation =
+      params.mutation_rate > 0.0
+          ? params.mutation_rate
+          : (bits > 0 ? 1.0 / bits : 0.0);
+
+  auto evaluate = [&](const topo::ConnectionMatrix& genome) {
+    return objective.evaluate(genome.decode());
+  };
+
+  std::vector<Individual> population;
+  population.reserve(static_cast<std::size_t>(params.population));
+  for (int i = 0; i < params.population; ++i) {
+    auto genome = topo::ConnectionMatrix::random(n, link_limit, rng, 0.5);
+    const double value = evaluate(genome);
+    population.push_back({std::move(genome), value});
+  }
+
+  auto by_value = [](const Individual& a, const Individual& b) {
+    return a.value < b.value;
+  };
+  std::sort(population.begin(), population.end(), by_value);
+
+  auto tournament_pick = [&]() -> const Individual& {
+    std::size_t best_idx = rng.uniform_below(population.size());
+    for (int t = 1; t < params.tournament; ++t) {
+      const std::size_t idx = rng.uniform_below(population.size());
+      if (population[idx].value < population[best_idx].value) best_idx = idx;
+    }
+    return population[best_idx];
+  };
+
+  while (objective.evaluations() - evals_before <
+             params.max_evaluations &&
+         bits > 0) {
+    std::vector<Individual> next;
+    next.reserve(population.size());
+    for (int e = 0; e < params.elites; ++e)
+      next.push_back(population[static_cast<std::size_t>(e)]);
+
+    while (static_cast<int>(next.size()) < params.population) {
+      const Individual& a = tournament_pick();
+      const Individual& b = tournament_pick();
+      topo::ConnectionMatrix child = a.genome;
+      if (rng.bernoulli(params.crossover_rate)) {
+        for (int bit = 0; bit < bits; ++bit)
+          if (rng.bernoulli(0.5) &&
+              child.bit_flat(bit) != b.genome.bit_flat(bit))
+            child.flip_flat(bit);
+      }
+      for (int bit = 0; bit < bits; ++bit)
+        if (rng.bernoulli(mutation)) child.flip_flat(bit);
+      const double value = evaluate(child);
+      next.push_back({std::move(child), value});
+    }
+    population = std::move(next);
+    std::sort(population.begin(), population.end(), by_value);
+  }
+
+  return {population.front().genome.decode(), population.front().value,
+          objective.evaluations() - evals_before, timer.seconds(), "GA"};
+}
+
+}  // namespace xlp::core

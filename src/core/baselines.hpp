@@ -1,0 +1,47 @@
+#pragma once
+
+#include "core/drivers.hpp"
+#include "core/objective.hpp"
+#include "util/rng.hpp"
+
+namespace xlp::core {
+
+/// Greedy long-range link insertion in the style of Ogras & Marculescu
+/// [21] (the application-specific predecessor the paper cites), adapted to
+/// the cross-section constraint: repeatedly add the single express link
+/// that most reduces the objective, among links that keep every cut within
+/// the limit; stop when no link improves. Deterministic; O(n^2) candidate
+/// evaluations per inserted link.
+[[nodiscard]] PlacementResult solve_greedy_insertion(
+    const RowObjective& objective, int link_limit);
+
+/// Steepest-descent hill climbing over the connection-matrix space with
+/// random restarts: from a random matrix, repeatedly flip the single bit
+/// with the best improvement; on a local minimum, restart. Stops when the
+/// evaluation budget is exhausted. The natural "no-temperature" ablation
+/// of the annealer.
+[[nodiscard]] PlacementResult solve_hill_climb(const RowObjective& objective,
+                                               int link_limit,
+                                               long max_evaluations,
+                                               Rng& rng);
+
+/// Genetic-algorithm parameters. The default population/rates follow
+/// common practice for bit-string GAs; the mutation rate defaults to
+/// 1/bit_count at run time when left at 0.
+struct GaParams {
+  int population = 32;
+  int tournament = 2;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.0;  // 0 = auto (1 / bit_count)
+  int elites = 2;
+  long max_evaluations = 10000;
+};
+
+/// Genetic algorithm over connection matrices: tournament selection,
+/// uniform crossover, per-bit mutation, elitism. Every individual is a
+/// valid placement by construction (the same property the SA leans on).
+[[nodiscard]] PlacementResult solve_ga(const RowObjective& objective,
+                                       int link_limit, const GaParams& params,
+                                       Rng& rng);
+
+}  // namespace xlp::core

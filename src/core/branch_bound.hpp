@@ -1,0 +1,54 @@
+#pragma once
+
+#include "core/objective.hpp"
+#include "topo/row_topology.hpp"
+
+namespace xlp::core {
+
+/// Result of an exact search over P̄(n, C).
+struct ExactResult {
+  topo::RowTopology placement;
+  double value = 0.0;
+  long nodes_explored = 0;  // search-tree nodes visited
+};
+
+/// Exhaustive branch-and-bound solver for the 1D placement problem
+/// (Section 5.6.3 and the base case of the divide-and-conquer initializer).
+///
+/// The search enumerates express-link subsets in lexicographic order with
+/// two prunings:
+///   * capacity: a partial placement whose cross-section already carries C
+///     links cannot accept another link over the same cut;
+///   * optimality: adding links never increases shortest-path costs, so the
+///     value of the "everything allowed" relaxation bounds every extension;
+///     we use the cheap global bound Tr + Tl * avg(weighted distance), the
+///     cost when every pair were directly connected, and stop exploring a
+///     subtree once the incumbent matches it.
+///
+/// Practical for the paper's verification set — P(4,2), P(8,2), P(8,3),
+/// P(8,4), P(16,2) — where the valid space ranges up to a few hundred
+/// thousand placements.
+class BranchAndBound {
+ public:
+  explicit BranchAndBound(const RowObjective& objective, int link_limit);
+
+  /// Runs the exact search and returns the best placement found.
+  [[nodiscard]] ExactResult solve();
+
+ private:
+  void dfs(std::size_t next_candidate);
+  [[nodiscard]] double direct_connection_bound() const;
+
+  const RowObjective& objective_;
+  int n_;
+  int link_limit_;
+  std::vector<topo::RowLink> candidates_;
+  std::vector<int> cut_express_;  // express links currently crossing each cut
+  topo::RowTopology current_;
+  topo::RowTopology best_;
+  double best_value_;
+  double lower_bound_;
+  long nodes_ = 0;
+};
+
+}  // namespace xlp::core

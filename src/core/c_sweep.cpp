@@ -1,0 +1,110 @@
+#include "core/c_sweep.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace xlp::core {
+
+latency::LatencyBreakdown evaluate_design(
+    const topo::ExpressMesh& design, const latency::LatencyParams& params,
+    const std::optional<traffic::TrafficMatrix>& report_traffic) {
+  const latency::MeshLatencyModel model(design, params);
+  if (report_traffic) {
+    XLP_REQUIRE(report_traffic->width() == design.width() &&
+                    report_traffic->height() == design.height(),
+                "traffic matrix dimensions do not match the design");
+    return model.weighted_average(report_traffic->rates());
+  }
+  return model.average();
+}
+
+std::vector<SweepPoint> sweep_link_limits(int n, const SweepOptions& options,
+                                          Rng& rng) {
+  XLP_REQUIRE(n >= 2, "network side must be at least 2");
+  const RowObjective objective(n, options.latency.hop);
+
+  std::vector<SweepPoint> points;
+  for (const int limit : topo::valid_link_limits(n)) {
+    if (options.base_flit_bits % limit != 0) continue;
+
+    PlacementResult placement = [&] {
+      switch (options.solver) {
+        case Solver::kOnlySa:
+          return solve_only_sa(objective, limit, options.sa, rng);
+        case Solver::kDncOnly:
+          return solve_dnc_only(objective, limit, options.dnc);
+        case Solver::kDcsa:
+        default:
+          return solve_dcsa(objective, limit, options.sa, rng, options.dnc);
+      }
+    }();
+
+    topo::ExpressMesh design = topo::make_design(placement.placement, limit,
+                                                 options.base_flit_bits);
+    latency::LatencyBreakdown breakdown =
+        evaluate_design(design, options.latency, options.report_traffic);
+    points.push_back({limit, std::move(placement), std::move(design),
+                      breakdown});
+  }
+  XLP_CHECK(!points.empty(), "no feasible link limit found");
+  return points;
+}
+
+std::vector<SweepPoint> sweep_link_limits_rect(int width, int height,
+                                               const SweepOptions& options,
+                                               Rng& rng) {
+  XLP_REQUIRE(width >= 2 && height >= 2,
+              "network dimensions must be at least 2");
+  const RowObjective row_objective(width, options.latency.hop);
+  const RowObjective col_objective(height, options.latency.hop);
+
+  auto solve = [&](const RowObjective& objective, int limit) {
+    switch (options.solver) {
+      case Solver::kOnlySa:
+        return solve_only_sa(objective, limit, options.sa, rng);
+      case Solver::kDncOnly:
+        return solve_dnc_only(objective, limit, options.dnc);
+      case Solver::kDcsa:
+      default:
+        return solve_dcsa(objective, limit, options.sa, rng, options.dnc);
+    }
+  };
+
+  std::vector<SweepPoint> points;
+  for (const int limit : topo::valid_link_limits(std::max(width, height))) {
+    if (options.base_flit_bits % limit != 0) continue;
+
+    // Each dimension can only use cross-section up to its own C_full.
+    const int row_limit = std::min(limit, topo::full_link_limit(width));
+    const int col_limit = std::min(limit, topo::full_link_limit(height));
+    PlacementResult row_placement = solve(row_objective, row_limit);
+    PlacementResult col_placement = solve(col_objective, col_limit);
+
+    topo::ExpressMesh design = topo::make_rect_design(
+        row_placement.placement, col_placement.placement, limit,
+        options.base_flit_bits);
+    latency::LatencyBreakdown breakdown =
+        evaluate_design(design, options.latency, options.report_traffic);
+    SweepPoint point;
+    point.link_limit = limit;
+    point.placement = std::move(row_placement);
+    point.placement.evaluations += col_placement.evaluations;
+    point.design = std::move(design);
+    point.breakdown = breakdown;
+    points.push_back(std::move(point));
+  }
+  XLP_CHECK(!points.empty(), "no feasible link limit found");
+  return points;
+}
+
+std::size_t best_point(const std::vector<SweepPoint>& points) {
+  XLP_REQUIRE(!points.empty(), "empty sweep");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < points.size(); ++i)
+    if (points[i].breakdown.total() < points[best].breakdown.total())
+      best = i;
+  return best;
+}
+
+}  // namespace xlp::core

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/drivers.hpp"
+#include "latency/model.hpp"
+#include "topo/builders.hpp"
+#include "traffic/matrix.hpp"
+
+namespace xlp::core {
+
+/// Which placement algorithm a sweep uses for each link limit.
+enum class Solver { kDcsa, kOnlySa, kDncOnly };
+
+/// One design point of the Fig. 5 curve: the best placement found for a
+/// given link limit C, packaged with its flit width and its analytic
+/// latency breakdown.
+struct SweepPoint {
+  int link_limit = 1;
+  PlacementResult placement;
+  topo::ExpressMesh design{topo::RowTopology(2), 1, 1};
+  latency::LatencyBreakdown breakdown;
+};
+
+struct SweepOptions {
+  Solver solver = Solver::kDcsa;
+  SaParams sa;
+  DncOptions dnc;
+  latency::LatencyParams latency = latency::LatencyParams::parsec_typical();
+  int base_flit_bits = topo::kBaseFlitBits;
+  /// When set, the reported latency breakdown is weighted by this traffic
+  /// matrix (e.g. the PARSEC-average workload); the *placement* is still
+  /// optimized for the uniform general-purpose objective, as in the paper.
+  std::optional<traffic::TrafficMatrix> report_traffic;
+};
+
+/// The paper's overall flow (Section 4, opening): enumerate the possible
+/// link limits C, solve P̄(n, C) for each, and compare total latencies to
+/// find the best design. Limits that do not divide the baseline flit width
+/// are skipped (the flit must remain an integer number of bits).
+[[nodiscard]] std::vector<SweepPoint> sweep_link_limits(
+    int n, const SweepOptions& options, Rng& rng);
+
+/// Index of the sweep point with the lowest total average latency.
+[[nodiscard]] std::size_t best_point(const std::vector<SweepPoint>& points);
+
+/// Rectangular generalization of the sweep: rows and columns have
+/// different lengths, so each link limit solves *two* 1D problems —
+/// P̄(width, C) for the rows and P̄(height, C) for the columns (each
+/// dimension capped at its own C_full). Everything else (flit width,
+/// replication, reporting) works as in the square flow.
+[[nodiscard]] std::vector<SweepPoint> sweep_link_limits_rect(
+    int width, int height, const SweepOptions& options, Rng& rng);
+
+/// Evaluates a fixed design (Mesh, HFB, ...) under the same latency params
+/// and optional report weighting, so fixed topologies and sweep points are
+/// comparable.
+[[nodiscard]] latency::LatencyBreakdown evaluate_design(
+    const topo::ExpressMesh& design, const latency::LatencyParams& params,
+    const std::optional<traffic::TrafficMatrix>& report_traffic);
+
+}  // namespace xlp::core

@@ -1,0 +1,40 @@
+#pragma once
+
+#include "core/objective.hpp"
+#include "topo/row_topology.hpp"
+
+namespace xlp::core {
+
+/// Divide-and-conquer initial-solution generator, Procedure I(n, C) of
+/// Section 4.4.1:
+///
+///   I(n, C):
+///     if n <= bb_threshold or C == 1: solve exactly (branch and bound)
+///     else:
+///       left  = I(floor(n/2), C-1) on routers [0, floor(n/2))
+///       right = I(ceil(n/2),  C-1) on routers [floor(n/2), n)
+///       for every pair (i, j) with i < floor(n/2) <= j:
+///         evaluate left ∪ right ∪ {express link (i, j)}
+///       return the best combination
+///
+/// The halves are solved with limit C-1 so that the joining link (which
+/// crosses the middle and may overlap links inside either half) can never
+/// push a cross-section above C. When both halves have the same size the
+/// sub-solution is computed once and reused, as the paper's pseudocode
+/// notes. Complexity O(n^5) (master theorem with an O(n^2)-pair combine
+/// step, each evaluated in O(n^3)).
+struct DncOptions {
+  int bb_threshold = 4;  // solve exactly at or below this row size
+};
+
+struct DncResult {
+  topo::RowTopology placement;
+  double value = 0.0;
+};
+
+/// Runs I(n, C) for the (possibly weighted) objective; `link_limit` is C.
+[[nodiscard]] DncResult dnc_initial_solution(const RowObjective& objective,
+                                             int link_limit,
+                                             const DncOptions& options = {});
+
+}  // namespace xlp::core

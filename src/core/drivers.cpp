@@ -1,0 +1,45 @@
+#include "core/drivers.hpp"
+
+#include "topo/connection_matrix.hpp"
+#include "util/stopwatch.hpp"
+
+namespace xlp::core {
+
+PlacementResult solve_only_sa(const RowObjective& objective, int link_limit,
+                              const SaParams& params, Rng& rng) {
+  const long evals_before = objective.evaluations();
+  Stopwatch timer;
+  const auto initial = topo::ConnectionMatrix::random(
+      objective.row_size(), link_limit, rng, 0.5);
+  const SaResult sa = anneal_connection_matrix(initial, objective, params,
+                                               rng);
+  return {sa.best, sa.best_value, objective.evaluations() - evals_before,
+          timer.seconds(), "OnlySA"};
+}
+
+PlacementResult solve_dcsa(const RowObjective& objective, int link_limit,
+                           const SaParams& params, Rng& rng,
+                           const DncOptions& dnc) {
+  const long evals_before = objective.evaluations();
+  Stopwatch timer;
+  const DncResult initial = dnc_initial_solution(objective, link_limit, dnc);
+  const auto matrix =
+      topo::ConnectionMatrix::encode(initial.placement, link_limit);
+  const SaResult sa = anneal_connection_matrix(matrix, objective, params,
+                                               rng);
+  // The annealer's best can only match or improve on the initial solution,
+  // since the initial state is scored first.
+  return {sa.best, sa.best_value, objective.evaluations() - evals_before,
+          timer.seconds(), "D&C_SA"};
+}
+
+PlacementResult solve_dnc_only(const RowObjective& objective, int link_limit,
+                               const DncOptions& dnc) {
+  const long evals_before = objective.evaluations();
+  Stopwatch timer;
+  DncResult result = dnc_initial_solution(objective, link_limit, dnc);
+  return {std::move(result.placement), result.value,
+          objective.evaluations() - evals_before, timer.seconds(), "D&C"};
+}
+
+}  // namespace xlp::core

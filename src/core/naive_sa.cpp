@@ -1,0 +1,108 @@
+#include "core/naive_sa.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace xlp::core {
+
+namespace {
+
+/// Proposes one naive move in place; returns false when the move produced a
+/// placement outside the feasible region (caller counts it and rolls back).
+bool propose_naive_move(topo::RowTopology& row, int link_limit, Rng& rng) {
+  const int n = row.size();
+  const int kind = static_cast<int>(rng.uniform_below(4));
+  const auto& links = row.express_links();
+
+  switch (kind) {
+    case 0: {  // add a random express link
+      if (n < 3) return false;  // no express link fits in a 2-router row
+      const int i = static_cast<int>(rng.uniform_below(n - 2));
+      const int j =
+          i + 2 + static_cast<int>(rng.uniform_below(n - i - 2));
+      row.add_express({i, j});
+      break;
+    }
+    case 1: {  // delete a random express link
+      if (links.empty()) return false;
+      row.remove_express(
+          links[rng.uniform_below(links.size())]);
+      break;
+    }
+    case 2: {  // stretch a random link by one router on a random side
+      if (links.empty()) return false;
+      const topo::RowLink link = links[rng.uniform_below(links.size())];
+      topo::RowLink stretched = link;
+      if (rng.bernoulli(0.5)) {
+        if (link.lo == 0) return false;
+        stretched.lo = link.lo - 1;
+      } else {
+        if (link.hi == n - 1) return false;
+        stretched.hi = link.hi + 1;
+      }
+      row.remove_express(link);
+      row.add_express(stretched);
+      break;
+    }
+    default: {  // shorten a random link by one router on a random side
+      if (links.empty()) return false;
+      const topo::RowLink link = links[rng.uniform_below(links.size())];
+      topo::RowLink shortened = link;
+      if (rng.bernoulli(0.5))
+        shortened.lo = link.lo + 1;
+      else
+        shortened.hi = link.hi - 1;
+      if (shortened.length() < 2) return false;
+      row.remove_express(link);
+      row.add_express(shortened);
+      break;
+    }
+  }
+  return row.fits_link_limit(link_limit);
+}
+
+}  // namespace
+
+NaiveSaResult anneal_naive_links(const topo::RowTopology& initial,
+                                 const RowObjective& objective,
+                                 int link_limit, const SaParams& params,
+                                 Rng& rng) {
+  XLP_REQUIRE(initial.size() == objective.row_size(),
+              "initial placement and objective sizes must match");
+  XLP_REQUIRE(initial.fits_link_limit(link_limit),
+              "initial placement violates the link limit");
+
+  topo::RowTopology current = initial;
+  double current_value = objective.evaluate(current);
+  NaiveSaResult result{current, current_value, 0, 0, 0};
+
+  double temperature = params.initial_temperature;
+  for (long move = 0; move < params.total_moves; ++move) {
+    topo::RowTopology candidate = current;
+    if (!propose_naive_move(candidate, link_limit, rng)) {
+      ++result.invalid_moves;
+    } else {
+      ++result.moves;
+      const double candidate_value = objective.evaluate(candidate);
+      const double delta = candidate_value - current_value;
+      bool accept = delta <= 0.0;
+      if (!accept && temperature > 0.0)
+        accept = rng.uniform01() < std::exp(-delta / temperature);
+      if (accept) {
+        current = std::move(candidate);
+        current_value = candidate_value;
+        ++result.accepted;
+        if (current_value < result.best_value) {
+          result.best_value = current_value;
+          result.best = current;
+        }
+      }
+    }
+    if ((move + 1) % params.moves_per_cool == 0)
+      temperature /= params.cool_scale;
+  }
+  return result;
+}
+
+}  // namespace xlp::core

@@ -1,0 +1,65 @@
+#include "core/objective.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace xlp::core {
+
+RowObjective::RowObjective(int n, route::HopWeights weights)
+    : n_(n), hop_(weights) {
+  XLP_REQUIRE(n >= 2, "a row needs at least two routers");
+}
+
+RowObjective::RowObjective(int n, route::HopWeights weights,
+                           std::vector<double> pair_weights)
+    : n_(n), hop_(weights), pair_weights_(std::move(pair_weights)) {
+  XLP_REQUIRE(n >= 2, "a row needs at least two routers");
+  XLP_REQUIRE(pair_weights_.size() ==
+                  static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
+              "pair weights must be n*n, flattened row-major");
+  double off_diag = 0.0;
+  for (int i = 0; i < n_; ++i)
+    for (int j = 0; j < n_; ++j) {
+      const double w = pair_weights_[static_cast<std::size_t>(i) * n_ + j];
+      XLP_REQUIRE(w >= 0.0, "pair weights must be non-negative");
+      if (i != j) off_diag += w;
+    }
+  weights_all_zero_ = off_diag <= 0.0;
+}
+
+void RowObjective::set_worst_case_weight(double weight) {
+  XLP_REQUIRE(weight >= 0.0 && weight <= 1.0,
+              "worst-case weight must be in [0, 1]");
+  worst_weight_ = weight;
+}
+
+double RowObjective::evaluate(const topo::RowTopology& row) const {
+  XLP_REQUIRE(row.size() == n_, "placement size does not match objective");
+  ++*evals_;
+  const route::DirectionalShortestPaths paths(row, hop_);
+  const double average = (pair_weights_.empty() || weights_all_zero_)
+                             ? paths.average_cost()
+                             : paths.weighted_average_cost(pair_weights_);
+  if (worst_weight_ <= 0.0) return average;
+  return (1.0 - worst_weight_) * average + worst_weight_ * paths.max_cost();
+}
+
+RowObjective RowObjective::sub_objective(int lo, int len) const {
+  XLP_REQUIRE(lo >= 0 && len >= 2 && lo + len <= n_,
+              "sub-row out of range");
+  RowObjective sub = [&] {
+    if (pair_weights_.empty()) return RowObjective(len, hop_);
+    std::vector<double> w(static_cast<std::size_t>(len) * len, 0.0);
+    for (int i = 0; i < len; ++i)
+      for (int j = 0; j < len; ++j)
+        w[static_cast<std::size_t>(i) * len + j] =
+            pair_weights_[static_cast<std::size_t>(lo + i) * n_ + (lo + j)];
+    return RowObjective(len, hop_, std::move(w));
+  }();
+  sub.evals_ = evals_;  // attribute recursive work to the root objective
+  sub.worst_weight_ = worst_weight_;
+  return sub;
+}
+
+}  // namespace xlp::core

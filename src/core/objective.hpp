@@ -1,0 +1,82 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "route/directional_paths.hpp"
+#include "topo/row_topology.hpp"
+
+namespace xlp::core {
+
+/// The quantity P̄(n, C) minimizes: average head latency between router
+/// pairs of one row (Section 4.2). Uniform weighting is the paper's
+/// general-purpose objective; a weight matrix turns it into the
+/// application-specific objective of Section 5.6.4.
+///
+/// Constant offsets shared by all placements (the destination-router cycle,
+/// serialization, the column contribution) are deliberately excluded — they
+/// do not change the argmin.
+///
+/// The evaluation counter tracks how many placements have been scored; the
+/// paper's Fig. 7 and Fig. 12 report runtimes of algorithms whose cost is
+/// dominated by exactly these evaluations, so the counter doubles as a
+/// machine-independent runtime unit.
+class RowObjective {
+ public:
+  /// Uniform pairwise objective for rows of n routers.
+  RowObjective(int n, route::HopWeights weights);
+
+  /// Weighted objective: `weights[i*n + j]` is the traffic demand from
+  /// position i to position j within the row. If every off-diagonal weight
+  /// is zero the objective falls back to uniform (placement is then
+  /// irrelevant for this row, but evaluation must still be well-defined).
+  RowObjective(int n, route::HopWeights weights,
+               std::vector<double> pair_weights);
+
+  [[nodiscard]] int row_size() const noexcept { return n_; }
+  [[nodiscard]] const route::HopWeights& hop_weights() const noexcept {
+    return hop_;
+  }
+
+  /// Scores a placement (lower is better). The row must have n routers.
+  /// With a non-zero worst-case weight w, the score is
+  /// (1-w)*average + w*max over pairs — a Table-2-aware variant that trades
+  /// a little average latency for a better worst case.
+  [[nodiscard]] double evaluate(const topo::RowTopology& row) const;
+
+  /// Sets the worst-case blend weight, in [0, 1]. 0 (the default) is the
+  /// paper's pure-average objective.
+  void set_worst_case_weight(double weight);
+  [[nodiscard]] double worst_case_weight() const noexcept {
+    return worst_weight_;
+  }
+
+  /// True when the objective weights all pairs equally (the general-purpose
+  /// case); lets the divide-and-conquer initializer reuse a half-solution
+  /// for both halves.
+  [[nodiscard]] bool is_uniform() const noexcept {
+    return pair_weights_.empty() || weights_all_zero_;
+  }
+
+  /// Number of evaluate() calls so far, *including* calls made through
+  /// sub-objectives derived with sub_objective() — the divide-and-conquer
+  /// initializer's recursive work is part of its runtime.
+  [[nodiscard]] long evaluations() const noexcept { return *evals_; }
+  void reset_evaluations() noexcept { *evals_ = 0; }
+
+  /// Objective for the sub-row covering positions [lo, lo+len): uniform
+  /// objectives are position-independent; weighted objectives slice the
+  /// weight matrix. Used by the divide-and-conquer initializer.
+  [[nodiscard]] RowObjective sub_objective(int lo, int len) const;
+
+ private:
+  int n_;
+  route::HopWeights hop_;
+  std::vector<double> pair_weights_;  // empty => uniform
+  bool weights_all_zero_ = false;
+  double worst_weight_ = 0.0;
+  // Shared with sub-objectives so recursive work is attributed to the root.
+  std::shared_ptr<long> evals_ = std::make_shared<long>(0);
+};
+
+}  // namespace xlp::core

@@ -1,0 +1,64 @@
+#include "core/portfolio.hpp"
+
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/stopwatch.hpp"
+
+namespace xlp::core {
+
+PortfolioResult solve_portfolio(
+    int row_size, route::HopWeights hop_weights,
+    const std::optional<std::vector<double>>& pair_weights, int link_limit,
+    const PortfolioOptions& options, std::uint64_t seed) {
+  XLP_REQUIRE(options.chains >= 1, "portfolio needs at least one chain");
+
+  Stopwatch timer;
+  std::vector<PlacementResult> results(
+      static_cast<std::size_t>(options.chains));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(options.chains));
+
+  for (int chain = 0; chain < options.chains; ++chain) {
+    workers.emplace_back([&, chain] {
+      // Per-chain objective (evaluation counters are not shareable across
+      // threads) and a decorrelated per-chain stream.
+      const RowObjective objective =
+          pair_weights ? RowObjective(row_size, hop_weights, *pair_weights)
+                       : RowObjective(row_size, hop_weights);
+      Rng base(seed);
+      Rng rng = base.fork(static_cast<std::uint64_t>(chain));
+      switch (options.solver) {
+        case Solver::kOnlySa:
+          results[static_cast<std::size_t>(chain)] =
+              solve_only_sa(objective, link_limit, options.sa, rng);
+          break;
+        case Solver::kDncOnly:
+          results[static_cast<std::size_t>(chain)] =
+              solve_dnc_only(objective, link_limit, options.dnc);
+          break;
+        case Solver::kDcsa:
+        default:
+          results[static_cast<std::size_t>(chain)] = solve_dcsa(
+              objective, link_limit, options.sa, rng, options.dnc);
+          break;
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  PortfolioResult portfolio;
+  portfolio.seconds = timer.seconds();
+  portfolio.chain_values.reserve(results.size());
+  std::size_t best = 0;
+  for (std::size_t chain = 0; chain < results.size(); ++chain) {
+    portfolio.chain_values.push_back(results[chain].value);
+    portfolio.total_evaluations += results[chain].evaluations;
+    if (results[chain].value < results[best].value) best = chain;
+  }
+  portfolio.best = std::move(results[best]);
+  portfolio.best.method += "-portfolio";
+  return portfolio;
+}
+
+}  // namespace xlp::core

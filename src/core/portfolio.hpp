@@ -1,0 +1,44 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/c_sweep.hpp"  // for Solver
+#include "core/drivers.hpp"
+
+namespace xlp::core {
+
+/// Parallel portfolio annealing: run several independent D&C_SA (or
+/// OnlySA) chains on separate threads with decorrelated seeds and keep the
+/// best placement. Simulated annealing parallelizes embarrassingly this
+/// way, and a portfolio also reduces seed variance — the multi-seed
+/// averaging the evaluation section does by hand, executed concurrently.
+///
+/// Determinism: the result depends only on (seed, chains, parameters),
+/// never on thread scheduling — each chain derives its RNG from the seed
+/// and its chain index, and ties between equal-valued chains break toward
+/// the lower chain index.
+struct PortfolioOptions {
+  int chains = 4;          // worker threads (and independent chains)
+  SaParams sa;             // per-chain schedule
+  DncOptions dnc;
+  Solver solver = Solver::kDcsa;
+};
+
+struct PortfolioResult {
+  PlacementResult best;
+  std::vector<double> chain_values;  // final value of every chain
+  long total_evaluations = 0;
+  double seconds = 0.0;  // wall clock for the whole portfolio
+};
+
+/// Solves P̄(row_size, link_limit) with a portfolio of chains. The
+/// objective is described by its ingredients (size, hop weights, optional
+/// pair weights) because RowObjective instances are not safe to share
+/// across threads; each chain builds its own.
+[[nodiscard]] PortfolioResult solve_portfolio(
+    int row_size, route::HopWeights hop_weights,
+    const std::optional<std::vector<double>>& pair_weights, int link_limit,
+    const PortfolioOptions& options, std::uint64_t seed);
+
+}  // namespace xlp::core

@@ -1,0 +1,61 @@
+#include "core/sa.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace xlp::core {
+
+SaResult anneal_connection_matrix(const topo::ConnectionMatrix& initial,
+                                  const RowObjective& objective,
+                                  const SaParams& params, Rng& rng) {
+  XLP_REQUIRE(initial.row_size() == objective.row_size(),
+              "matrix and objective sizes must match");
+  XLP_REQUIRE(params.initial_temperature > 0.0,
+              "initial temperature must be positive");
+  XLP_REQUIRE(params.cool_scale > 1.0, "cooling must reduce temperature");
+  XLP_REQUIRE(params.moves_per_cool >= 1, "cooling period must be positive");
+
+  topo::ConnectionMatrix current = initial;
+  double current_value = objective.evaluate(current.decode());
+
+  SaResult result{current.decode(), current_value, current, 0, 0, 0};
+
+  // A degenerate matrix (C == 1 or n <= 2) has no flippable bits: the plain
+  // row is the only state.
+  if (initial.bit_count() == 0) return result;
+
+  double temperature = params.initial_temperature;
+  for (long move = 0; move < params.total_moves; ++move) {
+    const int bit = static_cast<int>(
+        rng.uniform_below(static_cast<std::uint64_t>(current.bit_count())));
+    current.flip_flat(bit);
+    const double candidate_value = objective.evaluate(current.decode());
+    const double delta = candidate_value - current_value;
+
+    bool accept = delta <= 0.0;
+    if (!accept && temperature > 0.0)
+      accept = rng.uniform01() < std::exp(-delta / temperature);
+
+    if (accept) {
+      current_value = candidate_value;
+      ++result.accepted;
+      if (delta <= 0.0) ++result.improved;
+      if (candidate_value < result.best_value) {
+        result.best_value = candidate_value;
+        result.best_matrix = current;
+      }
+    } else {
+      current.flip_flat(bit);  // undo
+    }
+
+    ++result.moves;
+    if ((move + 1) % params.moves_per_cool == 0)
+      temperature /= params.cool_scale;
+  }
+
+  result.best = result.best_matrix.decode();
+  return result;
+}
+
+}  // namespace xlp::core

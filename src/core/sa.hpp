@@ -1,0 +1,51 @@
+#pragma once
+
+#include <algorithm>
+
+#include "core/objective.hpp"
+#include "topo/connection_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace xlp::core {
+
+/// Simulated-annealing schedule, Table 1 of the paper: exponential
+/// acceptance exp(-dL/T), linear cooling implemented as T <- T / cool_scale
+/// every moves_per_cool moves, starting from T0.
+struct SaParams {
+  double initial_temperature = 10.0;  // T0, in cycles
+  long total_moves = 10000;           // m
+  double cool_scale = 2.0;            // Sc
+  long moves_per_cool = 1000;         // mc
+
+  /// Scales the move budget while keeping the same cooling profile shape
+  /// (used by the runtime-comparison experiment, Fig. 7).
+  [[nodiscard]] SaParams with_moves(long moves) const {
+    SaParams p = *this;
+    p.total_moves = moves;
+    // Keep the number of cooling steps constant so the temperature profile
+    // is the same function of move fraction.
+    p.moves_per_cool = std::max<long>(1, (moves * moves_per_cool) /
+                                             std::max<long>(1, total_moves));
+    return p;
+  }
+};
+
+/// Outcome of one annealing run.
+struct SaResult {
+  topo::RowTopology best;
+  double best_value = 0.0;
+  topo::ConnectionMatrix best_matrix;
+  long moves = 0;
+  long accepted = 0;
+  long improved = 0;  // accepted moves with dL <= 0
+};
+
+/// The paper's annealer over the connection-matrix search space (Section
+/// 4.4.2): the state is a (n-2)x(C-1) bit matrix, one move flips one
+/// uniformly chosen connection point, and every state decodes to a valid
+/// placement — no move is ever wasted on an infeasible candidate.
+[[nodiscard]] SaResult anneal_connection_matrix(
+    const topo::ConnectionMatrix& initial, const RowObjective& objective,
+    const SaParams& params, Rng& rng);
+
+}  // namespace xlp::core

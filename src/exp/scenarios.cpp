@@ -1,0 +1,120 @@
+#include "exp/scenarios.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace xlp::exp {
+
+std::vector<NamedDesign> fixed_designs(int n) {
+  return {{"Mesh", topo::make_mesh(n)}, {"HFB", topo::make_hfb(n)}};
+}
+
+core::SaParams paper_sa_params() {
+  return core::SaParams{};  // Table 1 values are the defaults
+}
+
+double bench_scale() {
+  if (const char* env = std::getenv("XLP_BENCH_SCALE")) {
+    const double value = std::atof(env);
+    if (value > 0.0) return value;
+  }
+  return 1.0;
+}
+
+core::SweepOptions default_sweep_options(int n) {
+  core::SweepOptions options;
+  options.sa = paper_sa_params().with_moves(
+      std::max<long>(100, static_cast<long>(10000 * bench_scale())));
+  options.latency = latency::LatencyParams::parsec_typical();
+  options.report_traffic = traffic::parsec_average_matrix(n);
+  return options;
+}
+
+SolvedSweep solve_general_purpose(int n, core::Solver solver,
+                                  std::uint64_t seed) {
+  core::SweepOptions options = default_sweep_options(n);
+  options.solver = solver;
+  Rng rng(seed);
+  SolvedSweep solved;
+  solved.points = core::sweep_link_limits(n, options, rng);
+  solved.best = core::best_point(solved.points);
+  return solved;
+}
+
+sim::SimStats simulate_design(const topo::ExpressMesh& design,
+                              const traffic::TrafficMatrix& demand,
+                              const sim::SimConfig& config) {
+  const sim::Network network(design, route::HopWeights{});
+  sim::Simulator simulator(network, demand, config);
+  return simulator.run();
+}
+
+sim::SimStats replay_trace(const topo::ExpressMesh& design,
+                           const traffic::Trace& trace,
+                           const sim::SimConfig& base_config) {
+  sim::SimConfig config = base_config;
+  config.warmup_cycles = 0;
+  config.measure_cycles = trace.duration();
+  config.drain_cycles = trace.duration() + 10000;
+
+  const sim::Network network(design, route::HopWeights{});
+  sim::Simulator simulator(
+      network, traffic::TrafficMatrix(design.width(), design.height()),
+      config);
+  for (const traffic::TracePacket& p : trace.packets())
+    simulator.schedule_packet(p.src, p.dst, p.bits, p.cycle);
+  return simulator.run();
+}
+
+ProfileResult profile_on_mesh(const traffic::TrafficMatrix& demand,
+                              long cycles, std::uint64_t seed) {
+  Rng rng(seed);
+  const traffic::Trace trace = traffic::Trace::sample(
+      demand, latency::PacketMix::paper_default(), cycles, rng);
+  const auto mesh = topo::make_rect_mesh(demand.width(), demand.height());
+  sim::SimStats stats = replay_trace(mesh, trace, sim::SimConfig{});
+  return {trace.empirical_matrix(), std::move(stats)};
+}
+
+CutUse vertical_cut_use(const sim::Network& network,
+                        const sim::SimStats& stats, int cut, bool rightward) {
+  const int w = network.width();
+  XLP_REQUIRE(cut >= 0 && cut < w - 1, "cut index out of range");
+  XLP_REQUIRE(stats.channel_flits.size() == network.channels().size(),
+              "stats do not belong to this network");
+  XLP_REQUIRE(stats.activity.measured_cycles > 0, "no measured cycles");
+
+  CutUse use;
+  for (std::size_t c = 0; c < network.channels().size(); ++c) {
+    const auto& ch = network.channels()[c];
+    if (ch.src_router / w != ch.dst_router / w) continue;  // column channel
+    const int sx = ch.src_router % w;
+    const int dx = ch.dst_router % w;
+    const bool crosses = rightward ? (sx <= cut && cut < dx)
+                                   : (dx <= cut && cut < sx);
+    if (!crosses) continue;
+    ++use.channels;
+    use.used_bits_per_cycle +=
+        static_cast<double>(stats.channel_flits[c]) * network.flit_bits() /
+        static_cast<double>(stats.activity.measured_cycles);
+  }
+  use.capacity_bits_per_cycle =
+      static_cast<double>(use.channels) * network.flit_bits();
+  return use;
+}
+
+sim::SimConfig default_sim_config(std::uint64_t seed) {
+  sim::SimConfig config;
+  const double scale = bench_scale();
+  config.warmup_cycles = std::max<long>(200, static_cast<long>(1000 * scale));
+  config.measure_cycles =
+      std::max<long>(1000, static_cast<long>(10000 * scale));
+  config.drain_cycles = std::max<long>(2000, static_cast<long>(20000 * scale));
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace xlp::exp

@@ -1,0 +1,82 @@
+#include "latency/model.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace xlp::latency {
+
+MeshLatencyModel::MeshLatencyModel(const topo::ExpressMesh& mesh,
+                                   LatencyParams params)
+    : nodes_(mesh.node_count()),
+      params_(std::move(params)),
+      routing_(mesh, params_.hop),
+      serialization_(params_.mix.serialization_cycles(mesh.flit_bits())) {}
+
+double MeshLatencyModel::pair_head_latency(int src, int dst) const {
+  if (src == dst) return 0.0;
+  const int hops = routing_.hops(src, dst);
+  // head_cost already charges Tr per link; add one more Tr for the
+  // destination router (routers traversed = hops + 1), plus contention.
+  return routing_.head_cost(src, dst) + params_.hop.router_cycles +
+         params_.contention_per_hop * hops;
+}
+
+double MeshLatencyModel::pair_latency(int src, int dst) const {
+  if (src == dst) return 0.0;
+  return pair_head_latency(src, dst) + serialization_;
+}
+
+LatencyBreakdown MeshLatencyModel::average() const {
+  const int nodes = nodes_;
+  double head_total = 0.0;
+  for (int src = 0; src < nodes; ++src)
+    for (int dst = 0; dst < nodes; ++dst)
+      if (src != dst) head_total += pair_head_latency(src, dst);
+  const double pairs = static_cast<double>(nodes) * (nodes - 1);
+  return {head_total / pairs, serialization_};
+}
+
+LatencyBreakdown MeshLatencyModel::weighted_average(
+    const std::vector<double>& rates) const {
+  const int nodes = nodes_;
+  XLP_REQUIRE(rates.size() == static_cast<std::size_t>(nodes) * nodes,
+              "traffic matrix must be N*N, flattened row-major");
+  double head_total = 0.0;
+  double weight_total = 0.0;
+  for (int src = 0; src < nodes; ++src) {
+    for (int dst = 0; dst < nodes; ++dst) {
+      const double w = rates[static_cast<std::size_t>(src) * nodes + dst];
+      XLP_REQUIRE(w >= 0.0, "traffic rates must be non-negative");
+      if (src == dst) continue;
+      head_total += w * pair_head_latency(src, dst);
+      weight_total += w;
+    }
+  }
+  XLP_REQUIRE(weight_total > 0.0,
+              "traffic matrix must carry some off-diagonal traffic");
+  return {head_total / weight_total, serialization_};
+}
+
+double MeshLatencyModel::worst_case() const {
+  const int nodes = nodes_;
+  double worst = 0.0;
+  for (int src = 0; src < nodes; ++src)
+    for (int dst = 0; dst < nodes; ++dst)
+      if (src != dst)
+        worst = std::max(worst, pair_head_latency(src, dst) + serialization_);
+  return worst;
+}
+
+double MeshLatencyModel::average_hops() const {
+  const int nodes = nodes_;
+  long total = 0;
+  for (int src = 0; src < nodes; ++src)
+    for (int dst = 0; dst < nodes; ++dst)
+      if (src != dst) total += routing_.hops(src, dst);
+  return static_cast<double>(total) /
+         (static_cast<double>(nodes) * (nodes - 1));
+}
+
+}  // namespace xlp::latency

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/numeric.hpp"
+
+namespace xlp::latency {
+
+/// One packet class: size in bits and its share of the traffic.
+struct PacketClass {
+  int bits = 0;
+  double fraction = 0.0;
+};
+
+/// The mix of packet types on the network (Section 3: short packets for
+/// read requests / write acks, long packets for read replies / write
+/// requests). Serialization latency is the mix-weighted flit count
+/// `sum_k p_k * ceil(S_k / b)` — ceil, because a packet smaller than one
+/// flit still occupies a whole flit; this convention makes the model land
+/// exactly on the paper's Table 2 mesh values.
+class PacketMix {
+ public:
+  /// Fractions must be positive and sum to 1 (±1e-9); sizes positive.
+  explicit PacketMix(std::vector<PacketClass> classes);
+
+  /// The paper's mix (Section 5.1, after [19]): long 512-bit to short
+  /// 128-bit packets in ratio 1:4.
+  static PacketMix paper_default();
+
+  [[nodiscard]] const std::vector<PacketClass>& classes() const noexcept {
+    return classes_;
+  }
+
+  /// Flits needed for a `bits`-sized packet on links `flit_bits` wide.
+  [[nodiscard]] static int flits_for(int bits, int flit_bits);
+
+  /// Mix-averaged serialization latency in cycles on `flit_bits`-wide links.
+  [[nodiscard]] double serialization_cycles(int flit_bits) const;
+
+  /// Mix-averaged packet size in bits.
+  [[nodiscard]] double average_bits() const;
+
+  /// Mix-averaged flits per packet at the given width.
+  [[nodiscard]] double average_flits(int flit_bits) const;
+
+ private:
+  std::vector<PacketClass> classes_;
+};
+
+}  // namespace xlp::latency

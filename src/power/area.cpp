@@ -1,0 +1,32 @@
+#include "power/area.hpp"
+
+#include "util/check.hpp"
+
+namespace xlp::power {
+
+AreaReport evaluate_area(const topo::ExpressMesh& design,
+                         long buffer_bits_per_router,
+                         const AreaParams& params) {
+  XLP_REQUIRE(buffer_bits_per_router > 0, "buffer budget must be positive");
+
+  double xbar_um2_total = 0.0;
+  for (int y = 0; y < design.height(); ++y)
+    for (int x = 0; x < design.width(); ++x) {
+      const double k = design.router_ports({x, y});
+      xbar_um2_total +=
+          params.um2_per_xbar_bit_port2 * design.flit_bits() * k * k;
+    }
+
+  AreaReport report;
+  report.router_um2 =
+      params.um2_per_buffer_bit * static_cast<double>(buffer_bits_per_router) +
+      xbar_um2_total / design.node_count();
+  // One X table (width-1 entries) plus one Y table (height-1 entries).
+  report.routing_table_um2 =
+      params.um2_per_table_bit *
+      static_cast<double>(design.width() - 1 + design.height() - 1) *
+      params.bits_per_table_entry;
+  return report;
+}
+
+}  // namespace xlp::power

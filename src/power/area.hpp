@@ -1,0 +1,31 @@
+#pragma once
+
+#include "topo/express_mesh.hpp"
+
+namespace xlp::power {
+
+/// DSENT-style area coefficients at 32 nm used to bound the routing-table
+/// hardware overhead (Section 4.5.2 reports it below 0.5% of the router).
+struct AreaParams {
+  double um2_per_buffer_bit = 0.5;
+  double um2_per_xbar_bit_port2 = 0.25;
+  double um2_per_table_bit = 0.5;   // SRAM lookup-table cell + decode share
+  int bits_per_table_entry = 6;     // output-port number (64 ports max)
+};
+
+struct AreaReport {
+  double router_um2 = 0.0;        // average buffers + crossbar area
+  double routing_table_um2 = 0.0;  // both dimension tables
+  [[nodiscard]] double table_overhead_fraction() const noexcept {
+    return router_um2 > 0.0 ? routing_table_um2 / router_um2 : 0.0;
+  }
+};
+
+/// Average per-router area and the lookup-table overhead for a design.
+/// Each router holds two tables (X and Y) of at most n-1 entries each —
+/// Section 4.5.2's "at most 2(n-1) entries".
+[[nodiscard]] AreaReport evaluate_area(const topo::ExpressMesh& design,
+                                       long buffer_bits_per_router,
+                                       const AreaParams& params = {});
+
+}  // namespace xlp::power

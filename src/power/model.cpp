@@ -1,0 +1,56 @@
+#include "power/model.hpp"
+
+#include "util/check.hpp"
+
+namespace xlp::power {
+
+PowerReport evaluate_power(const topo::ExpressMesh& design,
+                           const sim::ActivityCounters& activity,
+                           long buffer_bits_per_router,
+                           const EnergyParams& params) {
+  XLP_REQUIRE(activity.measured_cycles > 0,
+              "activity counters cover zero cycles");
+  XLP_REQUIRE(activity.flit_bits == design.flit_bits(),
+              "activity was measured at a different flit width than the "
+              "design declares");
+  XLP_REQUIRE(buffer_bits_per_router > 0, "buffer budget must be positive");
+
+  PowerReport report;
+  const double bits = design.flit_bits();
+  const double events_to_watts =
+      params.frequency_hz / static_cast<double>(activity.measured_cycles);
+
+  report.dynamic_buffer_w =
+      (static_cast<double>(activity.buffer_writes) *
+           params.e_buffer_write_per_bit +
+       static_cast<double>(activity.buffer_reads) *
+           params.e_buffer_read_per_bit) *
+      bits * events_to_watts;
+  report.dynamic_crossbar_w =
+      static_cast<double>(activity.crossbar_traversals) *
+      params.e_crossbar_per_bit * bits * events_to_watts;
+  report.dynamic_link_w = static_cast<double>(activity.link_flit_units) *
+                          params.e_link_per_bit_per_unit * bits *
+                          events_to_watts;
+
+  report.static_buffer_w = params.p_buffer_static_per_bit *
+                           static_cast<double>(buffer_bits_per_router) *
+                           design.node_count();
+  double ports_total = 0.0;
+  double xbar_bit_port2 = 0.0;
+  for (int y = 0; y < design.height(); ++y) {
+    for (int x = 0; x < design.width(); ++x) {
+      const int k = design.router_ports({x, y});
+      ports_total += k;
+      xbar_bit_port2 += bits * static_cast<double>(k) * k;
+    }
+  }
+  report.static_crossbar_w =
+      params.p_xbar_static_per_bit_port2 * xbar_bit_port2;
+  report.static_other_w =
+      params.p_other_static_per_router * design.node_count() +
+      params.p_other_static_per_port * ports_total;
+  return report;
+}
+
+}  // namespace xlp::power

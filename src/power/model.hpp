@@ -1,0 +1,60 @@
+#pragma once
+
+#include "sim/stats.hpp"
+#include "topo/express_mesh.hpp"
+
+namespace xlp::power {
+
+/// First-order NoC energy coefficients, standing in for DSENT at 32 nm bulk
+/// CMOS (Section 5.1). Dynamic energies are per bit per event; static
+/// coefficients implement exactly the dependencies Section 4.6 relies on:
+/// buffer leakage proportional to total buffer bits, crossbar leakage
+/// proportional to b * k^2 (width times input-port count squared), and a
+/// per-router / per-port "others" term (allocators, clocking).
+struct EnergyParams {
+  double frequency_hz = 1e9;  // Section 5.6.2 operates the NoC at 1.0 GHz
+
+  // Dynamic, joules per bit per event. Calibrated so that at PARSEC loads
+  // the 8x8 mesh lands near the paper's operating point: static about two
+  // thirds of total router power (Section 5.5).
+  double e_buffer_write_per_bit = 0.040e-12;
+  double e_buffer_read_per_bit = 0.025e-12;
+  double e_crossbar_per_bit = 0.050e-12;
+  double e_link_per_bit_per_unit = 0.075e-12;
+
+  // Static, watts.
+  double p_buffer_static_per_bit = 0.25e-3 / 1024.0;  // 0.25 mW per kbit
+  double p_xbar_static_per_bit_port2 = 0.78e-6;       // per bit * ports^2
+  double p_other_static_per_router = 2.0e-3;
+  double p_other_static_per_port = 0.15e-3;
+};
+
+/// Network-wide router power split the way Figs. 9 and 10 report it.
+struct PowerReport {
+  double dynamic_buffer_w = 0.0;
+  double dynamic_crossbar_w = 0.0;
+  double dynamic_link_w = 0.0;
+  double static_buffer_w = 0.0;
+  double static_crossbar_w = 0.0;
+  double static_other_w = 0.0;
+
+  [[nodiscard]] double dynamic_total() const noexcept {
+    return dynamic_buffer_w + dynamic_crossbar_w + dynamic_link_w;
+  }
+  [[nodiscard]] double static_total() const noexcept {
+    return static_buffer_w + static_crossbar_w + static_other_w;
+  }
+  [[nodiscard]] double total() const noexcept {
+    return dynamic_total() + static_total();
+  }
+};
+
+/// Computes the power report for a design point from measured activity.
+/// `buffer_bits_per_router` must be the same value the simulation used
+/// (Section 4.6 equalizes it across schemes).
+[[nodiscard]] PowerReport evaluate_power(const topo::ExpressMesh& design,
+                                         const sim::ActivityCounters& activity,
+                                         long buffer_bits_per_router,
+                                         const EnergyParams& params = {});
+
+}  // namespace xlp::power

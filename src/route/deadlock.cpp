@@ -1,0 +1,99 @@
+#include "route/deadlock.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/check.hpp"
+
+namespace xlp::route {
+
+ChannelDependencyGraph::ChannelDependencyGraph(const topo::ExpressMesh& mesh,
+                                               const MeshRouting& routing,
+                                               Orientation orientation) {
+  const int w = mesh.width();
+  const int h = mesh.height();
+
+  // Enumerate every directed channel of the design. Parallel duplicate
+  // links collapse onto one channel here: duplicates only add capacity and
+  // cannot introduce new dependencies.
+  std::map<std::pair<int, int>, int> channel_id;
+  auto add_channel = [&](int from, int to) {
+    const auto key = std::make_pair(from, to);
+    if (channel_id.emplace(key, static_cast<int>(channels_.size())).second)
+      channels_.push_back({from, to});
+  };
+  for (int y = 0; y < h; ++y)
+    for (const topo::RowLink& link : mesh.row(y).all_links()) {
+      add_channel(y * w + link.lo, y * w + link.hi);
+      add_channel(y * w + link.hi, y * w + link.lo);
+    }
+  for (int x = 0; x < w; ++x)
+    for (const topo::RowLink& link : mesh.col(x).all_links()) {
+      add_channel(link.lo * w + x, link.hi * w + x);
+      add_channel(link.hi * w + x, link.lo * w + x);
+    }
+
+  adj_.assign(channels_.size(), {});
+
+  // Walk every source/destination route and record consecutive-channel
+  // dependencies.
+  const int nodes = mesh.node_count();
+  for (int src = 0; src < nodes; ++src) {
+    for (int dst = 0; dst < nodes; ++dst) {
+      if (src == dst) continue;
+      const std::vector<int> path = routing.path(src, dst, orientation);
+      int prev_channel = -1;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const auto it = channel_id.find({path[i], path[i + 1]});
+        XLP_CHECK(it != channel_id.end(),
+                  "routing used a link that is not in the topology");
+        const int cur = it->second;
+        if (prev_channel >= 0) {
+          auto& edges = adj_[static_cast<std::size_t>(prev_channel)];
+          if (std::find(edges.begin(), edges.end(), cur) == edges.end())
+            edges.push_back(cur);
+        }
+        prev_channel = cur;
+      }
+    }
+  }
+}
+
+std::size_t ChannelDependencyGraph::dependency_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& edges : adj_) total += edges.size();
+  return total;
+}
+
+bool ChannelDependencyGraph::has_cycle() const {
+  enum class Mark : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<Mark> mark(channels_.size(), Mark::kWhite);
+
+  // Iterative DFS with explicit stack of (node, next-edge-index).
+  std::vector<std::pair<int, std::size_t>> stack;
+  for (int start = 0; start < static_cast<int>(channels_.size()); ++start) {
+    if (mark[static_cast<std::size_t>(start)] != Mark::kWhite) continue;
+    stack.clear();
+    stack.emplace_back(start, 0);
+    mark[static_cast<std::size_t>(start)] = Mark::kGray;
+    while (!stack.empty()) {
+      auto& [node, edge_idx] = stack.back();
+      const auto& edges = adj_[static_cast<std::size_t>(node)];
+      if (edge_idx < edges.size()) {
+        const int next = edges[edge_idx++];
+        const auto next_mark = mark[static_cast<std::size_t>(next)];
+        if (next_mark == Mark::kGray) return true;
+        if (next_mark == Mark::kWhite) {
+          mark[static_cast<std::size_t>(next)] = Mark::kGray;
+          stack.emplace_back(next, 0);
+        }
+      } else {
+        mark[static_cast<std::size_t>(node)] = Mark::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace xlp::route

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "route/mesh_routing.hpp"
+#include "topo/express_mesh.hpp"
+
+namespace xlp::route {
+
+/// A directed channel of the 2D network: the (from -> to) direction of one
+/// bidirectional link within a row or a column.
+struct Channel {
+  int from = 0;  // node id
+  int to = 0;    // node id
+  friend constexpr bool operator==(const Channel&, const Channel&) = default;
+};
+
+/// Channel dependency graph under a concrete routing function [Dally &
+/// Seitz]. A dependency (c1 -> c2) exists when some packet, routed by
+/// `routing`, holds c1 while requesting c2 (i.e. traverses c2 immediately
+/// after c1 on its path). Deadlock freedom of wormhole routing is equivalent
+/// to this graph being acyclic.
+class ChannelDependencyGraph {
+ public:
+  /// Builds the dependency graph for one routing orientation. O1TURN-style
+  /// mixed routing keeps the two orientations on disjoint VC classes, so
+  /// its deadlock freedom follows from each orientation's graph being
+  /// acyclic separately.
+  ChannelDependencyGraph(const topo::ExpressMesh& mesh,
+                         const MeshRouting& routing,
+                         Orientation orientation = Orientation::kXYFirst);
+
+  [[nodiscard]] std::size_t channel_count() const noexcept {
+    return channels_.size();
+  }
+  [[nodiscard]] std::size_t dependency_count() const noexcept;
+
+  /// True when the dependency graph contains a cycle (a deadlock risk).
+  [[nodiscard]] bool has_cycle() const;
+
+  [[nodiscard]] const std::vector<Channel>& channels() const noexcept {
+    return channels_;
+  }
+
+ private:
+  std::vector<Channel> channels_;
+  std::vector<std::vector<int>> adj_;  // dependency edges channel -> channel
+};
+
+}  // namespace xlp::route

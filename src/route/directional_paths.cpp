@@ -1,0 +1,156 @@
+#include "route/directional_paths.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace xlp::route {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+DirectionalShortestPaths::DirectionalShortestPaths(
+    const topo::RowTopology& row, HopWeights weights)
+    : n_(row.size()),
+      weights_(weights),
+      cost_(static_cast<std::size_t>(n_) * n_, kInf),
+      hops_(static_cast<std::size_t>(n_) * n_, -1),
+      next_(static_cast<std::size_t>(n_) * n_, -1) {
+  compute(row);
+}
+
+void DirectionalShortestPaths::compute(const topo::RowTopology& row) {
+  for (int i = 0; i < n_; ++i) {
+    cost_[idx(i, i)] = 0.0;
+    hops_[idx(i, i)] = 0;
+  }
+
+  // Adjacency by direction. neighbors_right/left are sorted and de-duped.
+  std::vector<std::vector<int>> right(static_cast<std::size_t>(n_));
+  std::vector<std::vector<int>> left(static_cast<std::size_t>(n_));
+  for (int r = 0; r < n_; ++r) {
+    right[r] = row.neighbors_right(r);
+    left[r] = row.neighbors_left(r);
+  }
+
+  // Monotone paths form a DAG in each direction; fill by increasing span.
+  // Tie-break: lower cost, then fewer hops, then the longest first hop (take
+  // the express link as early as possible — deterministic and keeps packets
+  // off local links that shorter-haul traffic needs).
+  auto relax = [&](int i, int j, int via, double base_cost, int base_hops) {
+    const int len = std::abs(via - i);
+    const double c = weights_.link_cost(len) + base_cost;
+    const int h = 1 + base_hops;
+    auto& cur_cost = cost_[idx(i, j)];
+    auto& cur_hops = hops_[idx(i, j)];
+    auto& cur_next = next_[idx(i, j)];
+    const bool better =
+        c < cur_cost - 1e-12 ||
+        (c < cur_cost + 1e-12 &&
+         (h < cur_hops ||
+          (h == cur_hops && cur_next >= 0 &&
+           std::abs(via - i) > std::abs(cur_next - i))));
+    if (cur_next < 0 || better) {
+      cur_cost = c;
+      cur_hops = h;
+      cur_next = via;
+    }
+  };
+
+  for (int span = 1; span < n_; ++span) {
+    for (int i = 0; i + span < n_; ++i) {
+      const int j = i + span;
+      // Rightward: i -> j via any right neighbor k <= j.
+      for (int k : right[i]) {
+        if (k > j) break;
+        if (cost_[idx(k, j)] < kInf) relax(i, j, k, cost_[idx(k, j)],
+                                           hops_[idx(k, j)]);
+      }
+      // Leftward: j -> i via any left neighbor k >= i.
+      for (int k : left[j]) {
+        if (k < i) continue;
+        if (cost_[idx(k, i)] < kInf) relax(j, i, k, cost_[idx(k, i)],
+                                           hops_[idx(k, i)]);
+      }
+    }
+  }
+
+  // Local links guarantee connectivity in both directions.
+  for (int i = 0; i < n_; ++i)
+    for (int j = 0; j < n_; ++j)
+      XLP_CHECK(cost_[idx(i, j)] < kInf,
+                "row with local links must be fully connected");
+}
+
+double DirectionalShortestPaths::cost(int i, int j) const {
+  XLP_REQUIRE(i >= 0 && i < n_ && j >= 0 && j < n_, "index out of range");
+  return cost_[idx(i, j)];
+}
+
+int DirectionalShortestPaths::hops(int i, int j) const {
+  XLP_REQUIRE(i >= 0 && i < n_ && j >= 0 && j < n_, "index out of range");
+  return hops_[idx(i, j)];
+}
+
+int DirectionalShortestPaths::next_hop(int i, int j) const {
+  XLP_REQUIRE(i >= 0 && i < n_ && j >= 0 && j < n_, "index out of range");
+  XLP_REQUIRE(i != j, "no next hop from a router to itself");
+  return next_[idx(i, j)];
+}
+
+std::vector<int> DirectionalShortestPaths::path(int i, int j) const {
+  XLP_REQUIRE(i >= 0 && i < n_ && j >= 0 && j < n_, "index out of range");
+  std::vector<int> out{i};
+  int cur = i;
+  while (cur != j) {
+    cur = next_hop(cur, j);
+    out.push_back(cur);
+    XLP_CHECK(out.size() <= static_cast<std::size_t>(n_),
+              "routing table produced a path longer than the row");
+  }
+  return out;
+}
+
+double DirectionalShortestPaths::average_cost() const {
+  double total = 0.0;
+  for (int i = 0; i < n_; ++i)
+    for (int j = 0; j < n_; ++j)
+      if (i != j) total += cost_[idx(i, j)];
+  return total / (static_cast<double>(n_) * (n_ - 1));
+}
+
+double DirectionalShortestPaths::weighted_average_cost(
+    const std::vector<double>& weight) const {
+  XLP_REQUIRE(weight.size() == cost_.size(),
+              "weight matrix must be n*n, flattened row-major");
+  double total = 0.0;
+  double wsum = 0.0;
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      const double w = weight[idx(i, j)];
+      XLP_REQUIRE(w >= 0.0, "weights must be non-negative");
+      if (i == j) continue;
+      total += w * cost_[idx(i, j)];
+      wsum += w;
+    }
+  }
+  XLP_REQUIRE(wsum > 0.0, "weights must have a positive sum");
+  return total / wsum;
+}
+
+double DirectionalShortestPaths::average_hops() const {
+  long total = 0;
+  for (int i = 0; i < n_; ++i)
+    for (int j = 0; j < n_; ++j)
+      if (i != j) total += hops_[idx(i, j)];
+  return static_cast<double>(total) /
+         (static_cast<double>(n_) * (n_ - 1));
+}
+
+double DirectionalShortestPaths::max_cost() const {
+  return *std::max_element(cost_.begin(), cost_.end());
+}
+
+}  // namespace xlp::route

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <vector>
+
+#include "topo/row_topology.hpp"
+
+namespace xlp::route {
+
+/// Per-hop cost model for within-row paths: traversing a link (a,b) costs
+/// `router_cycles + |b-a| * link_cycles_per_unit` (one router pipeline plus
+/// a repeated/pipelined wire of |b-a| unit segments, Section 2.2).
+struct HopWeights {
+  double router_cycles = 3.0;        // Tr: canonical 3-stage router
+  double link_cycles_per_unit = 1.0;  // Tl: one cycle per unit-length segment
+
+  [[nodiscard]] double link_cost(int length) const noexcept {
+    return router_cycles + link_cycles_per_unit * length;
+  }
+};
+
+/// Directional all-pairs shortest paths within one row under the paper's
+/// deadlock-free routing (Section 4.5.1): packets travel monotonically, so
+/// a left-to-right packet may only use links in the rightward direction and
+/// never overshoots its target ("no U-turns"). Equivalent to the paper's two
+/// Floyd–Warshall passes with the opposite direction's edges set to infinite
+/// weight; implemented as a DP over increasing span since the monotone
+/// subgraph is a DAG.
+///
+/// `cost(i,j)` is the head-flit cost of the row segment, `hops(i,j)` the
+/// number of links traversed, and `next_hop(i,j)` the router after `i` on
+/// the selected path (deterministic; this is what the per-router lookup
+/// tables of Section 4.5.2 store).
+class DirectionalShortestPaths {
+ public:
+  DirectionalShortestPaths(const topo::RowTopology& row, HopWeights weights);
+
+  [[nodiscard]] int size() const noexcept { return n_; }
+
+  /// Head cost of the path from i to j; 0 when i == j.
+  [[nodiscard]] double cost(int i, int j) const;
+  /// Links traversed from i to j; 0 when i == j.
+  [[nodiscard]] int hops(int i, int j) const;
+  /// Next router after i on the path to j; j itself when directly linked.
+  /// Requires i != j.
+  [[nodiscard]] int next_hop(int i, int j) const;
+
+  /// Full router sequence i, ..., j (inclusive).
+  [[nodiscard]] std::vector<int> path(int i, int j) const;
+
+  /// Average cost over all ordered pairs i != j: the objective that
+  /// P̄(n, C) minimizes (uniform pairwise traffic).
+  [[nodiscard]] double average_cost() const;
+
+  /// Average over ordered pairs weighted by `weight[i][j]` (flattened i*n+j);
+  /// the application-specific objective of Section 5.6.4. Weights must be
+  /// non-negative with a positive sum.
+  [[nodiscard]] double weighted_average_cost(
+      const std::vector<double>& weight) const;
+
+  /// Average hop count over all ordered pairs i != j.
+  [[nodiscard]] double average_hops() const;
+
+  /// Largest cost over all pairs (worst-case zero-load row segment).
+  [[nodiscard]] double max_cost() const;
+
+ private:
+  [[nodiscard]] std::size_t idx(int i, int j) const {
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(j);
+  }
+  void compute(const topo::RowTopology& row);
+
+  int n_;
+  HopWeights weights_;
+  std::vector<double> cost_;
+  std::vector<int> hops_;
+  std::vector<int> next_;
+};
+
+}  // namespace xlp::route

@@ -1,0 +1,80 @@
+#include "route/mesh_routing.hpp"
+
+#include "util/check.hpp"
+
+namespace xlp::route {
+
+MeshRouting::MeshRouting(const topo::ExpressMesh& mesh, HopWeights weights)
+    : width_(mesh.width()), height_(mesh.height()) {
+  row_paths_.reserve(static_cast<std::size_t>(height_));
+  col_paths_.reserve(static_cast<std::size_t>(width_));
+  for (int y = 0; y < height_; ++y)
+    row_paths_.emplace_back(mesh.row(y), weights);
+  for (int x = 0; x < width_; ++x)
+    col_paths_.emplace_back(mesh.col(x), weights);
+}
+
+int MeshRouting::next_hop(int node, int dest, Orientation orientation) const {
+  XLP_REQUIRE(node != dest, "packet at its destination should eject");
+  const int nx = node % width_;
+  const int ny = node / width_;
+  const int dx = dest % width_;
+  const int dy = dest / width_;
+  const bool row_first = orientation == Orientation::kXYFirst;
+  if (row_first ? nx != dx : ny == dy) {
+    // Row segment (XY: first while x differs; YX: last, once y matches).
+    const int next_x =
+        row_paths_[static_cast<std::size_t>(ny)].next_hop(nx, dx);
+    return ny * width_ + next_x;
+  }
+  const int next_y = col_paths_[static_cast<std::size_t>(nx)].next_hop(ny, dy);
+  return next_y * width_ + nx;
+}
+
+std::vector<int> MeshRouting::path(int src, int dest,
+                                   Orientation orientation) const {
+  std::vector<int> out{src};
+  int cur = src;
+  while (cur != dest) {
+    cur = next_hop(cur, dest, orientation);
+    out.push_back(cur);
+    XLP_CHECK(out.size() <= static_cast<std::size_t>(width_ + height_),
+              "dimension-ordered route longer than one row plus one column");
+  }
+  return out;
+}
+
+int MeshRouting::hops(int src, int dest, Orientation orientation) const {
+  const int sx = src % width_, sy = src / width_;
+  const int dx = dest % width_, dy = dest / width_;
+  if (orientation == Orientation::kXYFirst) {
+    return row_paths_[static_cast<std::size_t>(sy)].hops(sx, dx) +
+           col_paths_[static_cast<std::size_t>(dx)].hops(sy, dy);
+  }
+  return col_paths_[static_cast<std::size_t>(sx)].hops(sy, dy) +
+         row_paths_[static_cast<std::size_t>(dy)].hops(sx, dx);
+}
+
+double MeshRouting::head_cost(int src, int dest,
+                              Orientation orientation) const {
+  const int sx = src % width_, sy = src / width_;
+  const int dx = dest % width_, dy = dest / width_;
+  if (orientation == Orientation::kXYFirst) {
+    return row_paths_[static_cast<std::size_t>(sy)].cost(sx, dx) +
+           col_paths_[static_cast<std::size_t>(dx)].cost(sy, dy);
+  }
+  return col_paths_[static_cast<std::size_t>(sx)].cost(sy, dy) +
+         row_paths_[static_cast<std::size_t>(dy)].cost(sx, dx);
+}
+
+const DirectionalShortestPaths& MeshRouting::row_paths(int y) const {
+  XLP_REQUIRE(y >= 0 && y < height_, "row index out of range");
+  return row_paths_[static_cast<std::size_t>(y)];
+}
+
+const DirectionalShortestPaths& MeshRouting::col_paths(int x) const {
+  XLP_REQUIRE(x >= 0 && x < width_, "column index out of range");
+  return col_paths_[static_cast<std::size_t>(x)];
+}
+
+}  // namespace xlp::route

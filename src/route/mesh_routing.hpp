@@ -1,0 +1,68 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "route/directional_paths.hpp"
+#include "topo/express_mesh.hpp"
+
+namespace xlp::route {
+
+/// Table-driven dimension-order routing over an ExpressMesh (Section 4.5):
+/// a packet first travels within the source row to the turning point (the
+/// router sharing the source's row and the destination's column), then within
+/// the destination column. Each dimension segment follows the precomputed
+/// directional shortest paths, so the whole route is deterministic, minimal
+/// under the no-U-turn rule, and deadlock-free.
+/// Which dimension a packet finishes first. XY (the paper's default) routes
+/// the row segment first; YX the column segment. O1TURN-style oblivious
+/// routing picks one of the two per packet and keeps them on disjoint VC
+/// classes, which preserves deadlock freedom (each orientation's channel
+/// dependency graph is acyclic on its own).
+enum class Orientation { kXYFirst, kYXFirst };
+
+class MeshRouting {
+ public:
+  MeshRouting(const topo::ExpressMesh& mesh, HopWeights weights);
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+
+  /// Next router id after `node` on the way to `dest`; `node == dest` is a
+  /// precondition violation (the packet should eject instead).
+  [[nodiscard]] int next_hop(int node, int dest,
+                             Orientation orientation =
+                                 Orientation::kXYFirst) const;
+
+  /// Complete router sequence src, ..., dest.
+  [[nodiscard]] std::vector<int> path(int src, int dest,
+                                      Orientation orientation =
+                                          Orientation::kXYFirst) const;
+
+  /// Number of links traversed from src to dest (0 when equal). For
+  /// heterogeneous designs the two orientations can differ: XY uses the
+  /// source's row and the destination's column, YX the source's column and
+  /// the destination's row.
+  [[nodiscard]] int hops(int src, int dest,
+                         Orientation orientation =
+                             Orientation::kXYFirst) const;
+
+  /// Head cost (router + wire cycles) from src to dest under HopWeights,
+  /// counting the row segment, the column segment, and nothing else — the
+  /// +1 router convention is applied by the latency model, not here.
+  [[nodiscard]] double head_cost(int src, int dest,
+                                 Orientation orientation =
+                                     Orientation::kXYFirst) const;
+
+  /// Shortest-path tables of one row / one column (for inspection/tests).
+  [[nodiscard]] const DirectionalShortestPaths& row_paths(int y) const;
+  [[nodiscard]] const DirectionalShortestPaths& col_paths(int x) const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<DirectionalShortestPaths> row_paths_;  // height entries, by y
+  std::vector<DirectionalShortestPaths> col_paths_;  // width entries, by x
+};
+
+}  // namespace xlp::route

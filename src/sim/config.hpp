@@ -1,0 +1,74 @@
+#pragma once
+
+#include "latency/packet_mix.hpp"
+
+namespace xlp::sim {
+
+/// How packets are routed through the two dimensions.
+///  * kXY / kYX: pure dimension-order routing (the paper's default is XY);
+///  * kO1Turn: each packet picks XY or YX uniformly at random and the two
+///    orientations travel on disjoint VC classes [Seo et al., ISCA'05] —
+///    the non-DOR comparison point Section 4.2 argues is unnecessary at
+///    realistic loads. Requires at least two VCs per port.
+enum class RoutingMode { kXY, kYX, kO1Turn };
+
+/// Switch-allocation policy.
+///  * kRoundRobin: classic rotating priority per output port (default);
+///  * kOldestFirst: age-based arbitration — the eligible flit whose packet
+///    was created earliest wins. Trades a little arbiter complexity for a
+///    tighter latency tail (compare p99 in bench/arbiter_ablation).
+enum class Arbiter { kRoundRobin, kOldestFirst };
+
+/// Simulator configuration. Defaults model the paper's platform: canonical
+/// 3-stage credit-based wormhole routers (Section 5.1) with a handful of
+/// virtual channels per port to reduce head-of-line blocking (Section 2.2).
+struct SimConfig {
+  int vcs_per_port = 4;
+
+  RoutingMode routing = RoutingMode::kXY;
+
+  Arbiter arbiter = Arbiter::kRoundRobin;
+
+  /// Virtual-express-channel mode [Kumar et al., ISCA'07], the *virtual*
+  /// alternative the paper contrasts with physical express links (Section
+  /// 2.1): a packet continuing straight through an intermediate router (same
+  /// dimension, same direction) bypasses the route-compute/VC-allocation
+  /// stages and competes for the switch immediately — but it still pays
+  /// switch traversal, link traversal and the full wire delay, which is
+  /// exactly why its latency reduction is limited compared to physical
+  /// express links.
+  bool virtual_express_bypass = false;
+
+  /// Total input-buffer budget per router in bits. Section 4.6: "we
+  /// configure the buffer size of each router to be the same for all
+  /// schemes" so no topology gets an unfair buffering advantage. The per-VC
+  /// depth in flits is derived per router from its port count and the flit
+  /// width (minimum 2 flits so credit round-trips don't strangle a VC).
+  /// Default: what a 5-port, 4-VC, 8-deep, 256-bit mesh router holds.
+  long buffer_bits_per_router = 5L * 4 * 8 * 256;
+
+  /// Router pipeline depth in cycles from buffer write to switch
+  /// traversal; 3 matches Tr in the analytic model.
+  int pipeline_stages = 3;
+
+  long warmup_cycles = 1000;
+  long measure_cycles = 10000;
+  /// After measurement, run up to this many extra cycles so measured
+  /// packets can drain; statistics only count packets created inside the
+  /// measurement window.
+  long drain_cycles = 20000;
+
+  std::uint64_t seed = 1;
+
+  latency::PacketMix mix = latency::PacketMix::paper_default();
+
+  /// Derived per-VC depth for a router with `ports` ports at `flit_bits`.
+  [[nodiscard]] int vc_depth_flits(int ports, int flit_bits) const {
+    const long per_vc =
+        buffer_bits_per_router /
+        (static_cast<long>(ports) * vcs_per_port * flit_bits);
+    return per_vc < 2 ? 2 : static_cast<int>(per_vc);
+  }
+};
+
+}  // namespace xlp::sim

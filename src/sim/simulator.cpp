@@ -1,0 +1,550 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+#include "util/check.hpp"
+#include "util/numeric.hpp"
+
+namespace xlp::sim {
+
+Simulator::Simulator(const Network& network,
+                     const traffic::TrafficMatrix& demand,
+                     const SimConfig& config)
+    : net_(network), config_(config), rng_(config.seed) {
+  XLP_REQUIRE(demand.width() == net_.width() &&
+                  demand.height() == net_.height(),
+              "traffic matrix dimensions do not match the network");
+  XLP_REQUIRE(config_.vcs_per_port >= 1, "need at least one VC per port");
+  XLP_REQUIRE(config_.routing != RoutingMode::kO1Turn ||
+                  config_.vcs_per_port >= 2,
+              "O1TURN needs at least two VCs per port (one per "
+              "orientation class)");
+  XLP_REQUIRE(config_.pipeline_stages >= 1, "pipeline needs >= 1 stage");
+
+  const int nodes = net_.node_count();
+  const int vcs = config_.vcs_per_port;
+
+  routers_.resize(static_cast<std::size_t>(nodes));
+  input_port_used_.resize(static_cast<std::size_t>(nodes));
+  for (int r = 0; r < nodes; ++r) {
+    auto& router = routers_[static_cast<std::size_t>(r)];
+    const int ports = net_.port_count(r);
+    router.vc_depth = config_.vc_depth_flits(ports, net_.flit_bits());
+    router.in.assign(static_cast<std::size_t>(ports),
+                     std::vector<InVc>(static_cast<std::size_t>(vcs)));
+    router.credits.assign(static_cast<std::size_t>(ports),
+                          std::vector<int>(static_cast<std::size_t>(vcs), 0));
+    router.rr.assign(static_cast<std::size_t>(ports), 0);
+    input_port_used_[static_cast<std::size_t>(r)].assign(
+        static_cast<std::size_t>(ports), 0);
+  }
+  // Output credits reflect the *downstream* router's buffer depth.
+  for (int r = 0; r < nodes; ++r) {
+    auto& router = routers_[static_cast<std::size_t>(r)];
+    for (int p = 1; p < net_.port_count(r); ++p) {
+      const int peer = net_.port(r, p).peer_router;
+      const int depth = routers_[static_cast<std::size_t>(peer)].vc_depth;
+      for (int v = 0; v < vcs; ++v)
+        router.credits[static_cast<std::size_t>(p)]
+                      [static_cast<std::size_t>(v)] = depth;
+    }
+  }
+  ni_credits_.resize(static_cast<std::size_t>(nodes));
+  for (int node = 0; node < nodes; ++node)
+    ni_credits_[static_cast<std::size_t>(node)].assign(
+        static_cast<std::size_t>(vcs),
+        routers_[static_cast<std::size_t>(node)].vc_depth);
+
+  channel_flits_.resize(net_.channels().size());
+  channel_credits_.resize(net_.channels().size());
+  channel_flits_measured_.assign(net_.channels().size(), 0);
+
+  // Per-node destination distributions.
+  nodes_.resize(static_cast<std::size_t>(nodes));
+  for (int node = 0; node < nodes; ++node) {
+    auto& st = nodes_[static_cast<std::size_t>(node)];
+    st.rate = demand.node_rate(node);
+    XLP_REQUIRE(st.rate <= 1.0,
+                "per-node injection above one packet per cycle is not "
+                "representable by Bernoulli injection");
+    if (st.rate <= 0.0) continue;
+    double cum = 0.0;
+    for (int dst = 0; dst < nodes; ++dst) {
+      const double r = demand.rate(node, dst);
+      if (r <= 0.0) continue;
+      cum += r / st.rate;
+      st.dest_cdf.push_back(cum);
+      st.dest_node.push_back(dst);
+    }
+    XLP_CHECK(!st.dest_cdf.empty(), "positive rate needs destinations");
+    st.dest_cdf.back() = 1.0;  // guard against rounding
+  }
+
+  // Packet-size mix CDF.
+  double cum = 0.0;
+  for (const auto& pc : config_.mix.classes()) {
+    cum += pc.fraction;
+    mix_cdf_.push_back(cum);
+    mix_bits_.push_back(pc.bits);
+  }
+  mix_cdf_.back() = 1.0;
+
+  activity_.flit_bits = net_.flit_bits();
+}
+
+int Simulator::pick_packet_bits() {
+  const double u = rng_.uniform01();
+  for (std::size_t k = 0; k < mix_cdf_.size(); ++k)
+    if (u <= mix_cdf_[k]) return mix_bits_[k];
+  return mix_bits_.back();
+}
+
+std::pair<int, int> Simulator::vc_class(bool y_first) const {
+  if (config_.routing != RoutingMode::kO1Turn)
+    return {0, config_.vcs_per_port};
+  const int half = config_.vcs_per_port / 2;
+  return y_first ? std::pair{half, config_.vcs_per_port}
+                 : std::pair{0, half};
+}
+
+long Simulator::create_packet(int src, int dst, int bits) {
+  Packet pk;
+  pk.id = static_cast<long>(packets_.size());
+  pk.src = src;
+  pk.dst = dst;
+  pk.bits = bits;
+  pk.flits = latency::PacketMix::flits_for(bits, net_.flit_bits());
+  pk.created = cycle_;
+  pk.measured = in_measurement_window();
+  if (pk.measured) ++outstanding_measured_;
+  packets_.push_back(pk);
+
+  bool y_first = false;
+  switch (config_.routing) {
+    case RoutingMode::kXY: y_first = false; break;
+    case RoutingMode::kYX: y_first = true; break;
+    case RoutingMode::kO1Turn: y_first = rng_.bernoulli(0.5); break;
+  }
+
+  auto& queue = nodes_[static_cast<std::size_t>(src)].source_queue;
+  for (int s = 0; s < pk.flits; ++s) {
+    Flit f;
+    f.packet = pk.id;
+    f.seq = s;
+    f.is_head = s == 0;
+    f.is_tail = s == pk.flits - 1;
+    f.dst = dst;
+    f.y_first = y_first;
+    queue.push_back(f);
+  }
+  return pk.id;
+}
+
+void Simulator::schedule_packet(int src, int dst, int bits,
+                                long create_cycle) {
+  XLP_REQUIRE(src >= 0 && src < net_.node_count() && dst >= 0 &&
+                  dst < net_.node_count() && src != dst,
+              "bad trace packet endpoints");
+  XLP_REQUIRE(cycle_ == 0, "schedule_packet must be called before run()");
+  scheduled_.emplace_back(create_cycle, src, dst, bits);
+}
+
+long Simulator::packet_latency(long packet_id) const {
+  XLP_REQUIRE(packet_id >= 0 &&
+                  packet_id < static_cast<long>(packets_.size()),
+              "unknown packet id");
+  const Packet& pk = packets_[static_cast<std::size_t>(packet_id)];
+  return pk.ejected < 0 ? -1 : pk.ejected - pk.created;
+}
+
+void Simulator::generate_traffic(int node) {
+  auto& st = nodes_[static_cast<std::size_t>(node)];
+  if (st.rate <= 0.0 || !rng_.bernoulli(st.rate)) return;
+
+  const double u = rng_.uniform01();
+  const auto it = std::lower_bound(st.dest_cdf.begin(), st.dest_cdf.end(), u);
+  const int dst =
+      st.dest_node[static_cast<std::size_t>(it - st.dest_cdf.begin())];
+  create_packet(node, dst, pick_packet_bits());
+}
+
+void Simulator::inject(int node) {
+  auto& st = nodes_[static_cast<std::size_t>(node)];
+  if (st.source_queue.empty()) return;
+  Flit& f = st.source_queue.front();
+
+  if (f.is_head && st.active_vc < 0) {
+    // NI-side VC allocation on the router's local input port, restricted
+    // to the packet's orientation class.
+    auto& port0 = routers_[static_cast<std::size_t>(node)].in[0];
+    const auto [vc_lo, vc_hi] = vc_class(f.y_first);
+    for (int v = vc_lo; v < vc_hi; ++v) {
+      if (!port0[static_cast<std::size_t>(v)].owned) {
+        port0[static_cast<std::size_t>(v)].owned = true;
+        st.active_vc = v;
+        break;
+      }
+    }
+    if (st.active_vc < 0) return;  // all local VCs of this class busy
+  }
+  if (st.active_vc < 0) return;
+  auto& credit =
+      ni_credits_[static_cast<std::size_t>(node)]
+                 [static_cast<std::size_t>(st.active_vc)];
+  if (credit <= 0) return;
+
+  Flit sent = f;
+  sent.vc = st.active_vc;
+  st.source_queue.pop_front();
+  --credit;
+
+  // NI-to-router wiring is length 0: the flit is written into the router's
+  // local input buffer next cycle (the arrival handler stamps ready_cycle).
+  ni_arrivals_.push_back({cycle_ + 1, node, sent});
+
+  if (sent.is_head) packets_[sent.packet].injected = cycle_ + 1;
+  if (sent.is_tail) st.active_vc = -1;
+}
+
+void Simulator::deliver_channel_arrivals() {
+  // NI arrivals.
+  while (!ni_arrivals_.empty() &&
+         std::get<0>(ni_arrivals_.front()) <= cycle_) {
+    auto [when, node, f] = ni_arrivals_.front();
+    ni_arrivals_.pop_front();
+    XLP_CHECK(when == cycle_, "missed an NI arrival");
+    f.ready_cycle = cycle_ + (config_.pipeline_stages - 1);
+    auto& vc = routers_[static_cast<std::size_t>(node)]
+                   .in[0][static_cast<std::size_t>(f.vc)];
+    XLP_CHECK(static_cast<int>(vc.buffer.size()) <
+                  routers_[static_cast<std::size_t>(node)].vc_depth,
+              "credit protocol violated: NI overflow");
+    vc.buffer.push_back(f);
+    if (in_measurement_window()) ++activity_.buffer_writes;
+  }
+  // Channel arrivals.
+  for (std::size_t ch = 0; ch < channel_flits_.size(); ++ch) {
+    auto& queue = channel_flits_[ch];
+    while (!queue.empty() && queue.front().first <= cycle_) {
+      Flit f = queue.front().second;
+      queue.pop_front();
+      const auto& channel = net_.channels()[ch];
+      f.ready_cycle = cycle_ + (config_.pipeline_stages - 1);
+      auto& vc = routers_[static_cast<std::size_t>(channel.dst_router)]
+                     .in[static_cast<std::size_t>(channel.dst_port)]
+                     [static_cast<std::size_t>(f.vc)];
+      XLP_CHECK(
+          static_cast<int>(vc.buffer.size()) <
+              routers_[static_cast<std::size_t>(channel.dst_router)].vc_depth,
+          "credit protocol violated: input buffer overflow");
+      vc.buffer.push_back(f);
+      if (in_measurement_window()) ++activity_.buffer_writes;
+    }
+  }
+}
+
+void Simulator::deliver_credits() {
+  for (std::size_t ch = 0; ch < channel_credits_.size(); ++ch) {
+    auto& queue = channel_credits_[ch];
+    while (!queue.empty() && queue.front().first <= cycle_) {
+      const int vc = queue.front().second;
+      queue.pop_front();
+      const auto& channel = net_.channels()[ch];
+      ++routers_[static_cast<std::size_t>(channel.src_router)]
+            .credits[static_cast<std::size_t>(channel.src_port)]
+                    [static_cast<std::size_t>(vc)];
+    }
+  }
+  while (!ni_credit_returns_.empty() &&
+         std::get<0>(ni_credit_returns_.front()) <= cycle_) {
+    auto [when, node, vc] = ni_credit_returns_.front();
+    ni_credit_returns_.pop_front();
+    ++ni_credits_[static_cast<std::size_t>(node)]
+                 [static_cast<std::size_t>(vc)];
+  }
+}
+
+void Simulator::allocate(int router) {
+  auto& rs = routers_[static_cast<std::size_t>(router)];
+  const int ports = net_.port_count(router);
+  for (int p = 0; p < ports; ++p) {
+    for (int v = 0; v < config_.vcs_per_port; ++v) {
+      InVc& q = rs.in[static_cast<std::size_t>(p)][static_cast<std::size_t>(v)];
+      if (q.active || q.buffer.empty() || !q.buffer.front().is_head) continue;
+      const Flit& head = q.buffer.front();
+      // Route computation.
+      const int out_port = net_.next_output_port(
+          router, head.dst,
+          head.y_first ? route::Orientation::kYXFirst
+                       : route::Orientation::kXYFirst);
+      if (out_port == 0) {  // ejection needs no downstream VC
+        q.out_port = 0;
+        q.out_vc = 0;
+        q.active = true;
+        continue;
+      }
+      // VC allocation on the downstream input port, within the packet's
+      // orientation class.
+      const auto& port = net_.port(router, out_port);
+      auto& peer_vcs = routers_[static_cast<std::size_t>(port.peer_router)]
+                           .in[static_cast<std::size_t>(port.peer_port)];
+      const auto [vc_lo, vc_hi] = vc_class(head.y_first);
+      for (int u = vc_lo; u < vc_hi; ++u) {
+        if (!peer_vcs[static_cast<std::size_t>(u)].owned) {
+          peer_vcs[static_cast<std::size_t>(u)].owned = true;
+          q.out_port = out_port;
+          q.out_vc = u;
+          q.active = true;
+          // Virtual-express bypass: a straight-through packet (arrived via a
+          // neighbor port and continues in the same dimension and
+          // direction) skips the front pipeline stages at this router.
+          if (config_.virtual_express_bypass && p != 0) {
+            const auto& in_port = net_.port(router, p);
+            q.bypass = port.dx == -in_port.dx && port.dy == -in_port.dy;
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+void Simulator::arbitrate(int router) {
+  auto& rs = routers_[static_cast<std::size_t>(router)];
+  const int ports = net_.port_count(router);
+  const int vcs = config_.vcs_per_port;
+  auto& used = input_port_used_[static_cast<std::size_t>(router)];
+  std::fill(used.begin(), used.end(), 0);
+
+  const int slots = ports * vcs;
+  for (int out = 0; out < ports; ++out) {
+    int& rr = rs.rr[static_cast<std::size_t>(out)];
+
+    // Select a winner: first eligible after the round-robin pointer, or the
+    // eligible flit with the oldest packet under age-based arbitration.
+    int chosen = -1;
+    long chosen_age = std::numeric_limits<long>::max();
+    long chosen_ready = 0;
+    for (int offset = 1; offset <= slots; ++offset) {
+      const int idx = (rr + offset) % slots;
+      const int p = idx / vcs;
+      const int v = idx % vcs;
+      if (used[static_cast<std::size_t>(p)]) continue;
+      InVc& q =
+          rs.in[static_cast<std::size_t>(p)][static_cast<std::size_t>(v)];
+      if (!q.active || q.out_port != out || q.buffer.empty()) continue;
+      const Flit& front = q.buffer.front();
+      const long effective_ready =
+          q.bypass ? front.ready_cycle - (config_.pipeline_stages - 1)
+                   : front.ready_cycle;
+      if (effective_ready > cycle_) continue;
+      if (out != 0 &&
+          rs.credits[static_cast<std::size_t>(out)]
+                    [static_cast<std::size_t>(q.out_vc)] <= 0)
+        continue;
+      if (config_.arbiter == Arbiter::kRoundRobin) {
+        chosen = idx;
+        chosen_ready = effective_ready;
+        break;
+      }
+      const long age =
+          packets_[static_cast<std::size_t>(front.packet)].created;
+      if (age < chosen_age) {
+        chosen_age = age;
+        chosen = idx;
+        chosen_ready = effective_ready;
+      }
+    }
+    if (chosen < 0) continue;
+    {
+      const int idx = chosen;
+      const int p = idx / vcs;
+      const int v = idx % vcs;
+      InVc& q =
+          rs.in[static_cast<std::size_t>(p)][static_cast<std::size_t>(v)];
+      const long effective_ready = chosen_ready;
+
+      // Grant: switch traversal this cycle, link traversal next.
+      Flit f = q.buffer.front();
+      q.buffer.pop_front();
+      used[static_cast<std::size_t>(p)] = 1;
+      rr = idx;
+
+      const bool window = in_measurement_window();
+      if (window) {
+        ++activity_.buffer_reads;
+        ++activity_.crossbar_traversals;
+        contention_cycles_ += cycle_ - effective_ready;
+        ++grants_measured_;
+      }
+
+      // Return the freed buffer slot upstream.
+      if (p == 0) {
+        ni_credit_returns_.push_back({cycle_ + 1, router, v});
+      } else {
+        const int in_ch = net_.port(router, p).in_channel;
+        channel_credits_[static_cast<std::size_t>(in_ch)].push_back(
+            {cycle_ + 1, v});
+      }
+
+      if (out == 0) {
+        Packet& pk = packets_[f.packet];
+        if (f.is_head) pk.head_ejected = cycle_ + 1;
+        if (f.is_tail) {
+          pk.ejected = cycle_ + 1;
+          if (pk.measured) --outstanding_measured_;
+        }
+      } else {
+        const auto& port = net_.port(router, out);
+        f.vc = q.out_vc;
+        if (f.is_head) ++packets_[f.packet].hops;
+        channel_flits_[static_cast<std::size_t>(port.out_channel)].push_back(
+            {cycle_ + 1 + port.length, f});
+        --rs.credits[static_cast<std::size_t>(out)]
+                    [static_cast<std::size_t>(q.out_vc)];
+        if (window) {
+          activity_.link_flit_units += port.length;
+          ++channel_flits_measured_[static_cast<std::size_t>(
+              port.out_channel)];
+        }
+      }
+
+      if (f.is_tail) {
+        q.active = false;
+        q.owned = false;
+        q.bypass = false;
+        q.out_port = -1;
+        q.out_vc = -1;
+      }
+    }
+  }
+}
+
+SimStats Simulator::run() {
+  const long measure_end = config_.warmup_cycles + config_.measure_cycles;
+  const long hard_end = measure_end + config_.drain_cycles;
+  const int nodes = net_.node_count();
+
+  std::sort(scheduled_.begin(), scheduled_.end());
+  for (cycle_ = 0; cycle_ < hard_end; ++cycle_) {
+    if (cycle_ >= measure_end && outstanding_measured_ == 0 &&
+        next_scheduled_ >= scheduled_.size())
+      break;
+    deliver_channel_arrivals();
+    deliver_credits();
+    while (next_scheduled_ < scheduled_.size() &&
+           std::get<0>(scheduled_[next_scheduled_]) <= cycle_) {
+      const auto [when, src, dst, bits] = scheduled_[next_scheduled_++];
+      create_packet(src, dst, bits);
+    }
+    for (int node = 0; node < nodes; ++node) {
+      generate_traffic(node);
+      inject(node);
+    }
+    for (int r = 0; r < nodes; ++r) allocate(r);
+    for (int r = 0; r < nodes; ++r) arbitrate(r);
+  }
+  activity_.measured_cycles = config_.measure_cycles;
+  return finalize();
+}
+
+SimStats Simulator::finalize() const {
+  SimStats stats;
+  stats.activity = activity_;
+  stats.channel_flits = channel_flits_measured_;
+
+  const long measure_start = config_.warmup_cycles;
+  const long measure_end = measure_start + config_.measure_cycles;
+  const int nodes = net_.node_count();
+
+  double latency_sum = 0.0;
+  double head_latency_sum = 0.0;
+  long hops_sum = 0;
+  std::vector<double> latencies;
+  for (const Packet& pk : packets_) {
+    if (pk.ejected >= measure_start && pk.ejected < measure_end)
+      ++stats.packets_ejected_in_window;
+    if (!pk.measured) continue;
+    ++stats.packets_offered;
+    if (pk.ejected < 0) continue;
+    ++stats.packets_finished;
+    const auto total = static_cast<double>(pk.ejected - pk.created);
+    latency_sum += total;
+    head_latency_sum += static_cast<double>(pk.head_ejected - pk.created);
+    hops_sum += pk.hops;
+    latencies.push_back(total);
+    stats.max_latency = std::max(stats.max_latency, total);
+  }
+  if (stats.packets_finished > 0) {
+    stats.avg_latency = latency_sum / stats.packets_finished;
+    stats.avg_head_latency = head_latency_sum / stats.packets_finished;
+    stats.avg_hops =
+        static_cast<double>(hops_sum) / stats.packets_finished;
+
+    double sq = 0.0;
+    for (const double x : latencies) {
+      const double d = x - stats.avg_latency;
+      sq += d * d;
+    }
+    stats.stddev_latency = std::sqrt(sq / latencies.size());
+    std::sort(latencies.begin(), latencies.end());
+    auto percentile = [&](double p) {
+      const auto idx = static_cast<std::size_t>(
+          p * static_cast<double>(latencies.size() - 1));
+      return latencies[idx];
+    };
+    stats.p50_latency = percentile(0.50);
+    stats.p95_latency = percentile(0.95);
+    stats.p99_latency = percentile(0.99);
+
+    // Batch means over the measurement window for a confidence interval
+    // (consecutive batches damp the autocorrelation of queueing systems).
+    constexpr int kBatches = 10;
+    const long batch_span =
+        std::max<long>(1, config_.measure_cycles / kBatches);
+    double batch_sum[kBatches] = {};
+    long batch_count[kBatches] = {};
+    for (const Packet& pk : packets_) {
+      if (!pk.measured || pk.ejected < 0) continue;
+      const long idx64 = (pk.created - measure_start) / batch_span;
+      const int b = static_cast<int>(std::min<long>(idx64, kBatches - 1));
+      batch_sum[b] += static_cast<double>(pk.ejected - pk.created);
+      ++batch_count[b];
+    }
+    double means[kBatches];
+    int k = 0;
+    for (int b = 0; b < kBatches; ++b)
+      if (batch_count[b] > 0) means[k++] = batch_sum[b] / batch_count[b];
+    if (k >= 2) {
+      double mean_of_means = 0.0;
+      for (int b = 0; b < k; ++b) mean_of_means += means[b];
+      mean_of_means /= k;
+      double var = 0.0;
+      for (int b = 0; b < k; ++b) {
+        const double d = means[b] - mean_of_means;
+        var += d * d;
+      }
+      var /= (k - 1);
+      // t-quantile for small k; 2.262 is t(0.975, 9), a good constant for
+      // ~10 batches.
+      stats.ci95_latency = 2.262 * std::sqrt(var / k);
+    }
+  }
+  stats.drained = stats.packets_finished == stats.packets_offered;
+
+  const double node_cycles =
+      static_cast<double>(config_.measure_cycles) * nodes;
+  stats.throughput_packets_per_node_cycle =
+      static_cast<double>(stats.packets_ejected_in_window) / node_cycles;
+  stats.offered_packets_per_node_cycle =
+      static_cast<double>(stats.packets_offered) / node_cycles;
+  if (grants_measured_ > 0)
+    stats.avg_contention_per_hop =
+        static_cast<double>(contention_cycles_) / grants_measured_;
+  return stats;
+}
+
+}  // namespace xlp::sim

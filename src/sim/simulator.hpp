@@ -1,0 +1,131 @@
+#pragma once
+
+#include <deque>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/network.hpp"
+#include "sim/packet.hpp"
+#include "sim/stats.hpp"
+#include "traffic/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace xlp::sim {
+
+/// Flit-level, cycle-based wormhole NoC simulator — the stand-in for
+/// gem5+GARNET (see DESIGN.md "Substitutions").
+///
+/// Model summary:
+///  * canonical 3-stage routers: buffer write at cycle t, route compute /
+///    VC allocation, switch allocation from t+2; a granted flit reaches the
+///    next router at grant + 1 + link_length (pipelined repeated wires,
+///    1 flit/cycle bandwidth regardless of length);
+///  * per-port virtual channels with credit-based flow control; the total
+///    buffer bits per router are equal across topologies (Section 4.6), so
+///    narrow-flit designs get proportionally deeper VCs;
+///  * table-driven deadlock-free DOR routing from route::MeshRouting — the
+///    simulator routes exactly what the optimizer optimized;
+///  * Bernoulli injection per node from a TrafficMatrix, packet sizes drawn
+///    from the configured PacketMix.
+///
+/// At zero load the end-to-end latency reproduces the analytic model
+/// exactly: (hops+1)*3 + distance + flits, measured creation -> tail eject.
+class Simulator {
+ public:
+  Simulator(const Network& network, const traffic::TrafficMatrix& demand,
+            const SimConfig& config);
+
+  /// Runs warmup + measurement + drain and returns the statistics.
+  [[nodiscard]] SimStats run();
+
+  /// Trace-driven injection: queues one packet for creation at the given
+  /// cycle, in addition to any stochastic matrix traffic. Must be called
+  /// before run(). Useful for replaying traces and for exact zero-load
+  /// latency measurements.
+  void schedule_packet(int src, int dst, int bits, long create_cycle);
+
+  /// Latency (creation to tail ejection) of the packet with the given id,
+  /// valid after run(); -1 if it never drained.
+  [[nodiscard]] long packet_latency(long packet_id) const;
+
+ private:
+  struct InVc {
+    std::deque<Flit> buffer;
+    bool owned = false;   // reserved by an upstream (or NI) packet
+    bool active = false;  // route + output VC assigned
+    bool bypass = false;  // straight-through virtual-express traversal
+    int out_port = -1;
+    int out_vc = -1;
+  };
+
+  struct RouterState {
+    std::vector<std::vector<InVc>> in;        // [port][vc]
+    std::vector<std::vector<int>> credits;    // [port][vc] for downstream
+    std::vector<int> rr;                      // per-output round-robin ptr
+    int vc_depth = 2;
+  };
+
+  struct NodeState {
+    std::deque<Flit> source_queue;  // flits of queued packets, in order
+    int active_vc = -1;             // port-0 VC owned by the packet being sent
+    double rate = 0.0;              // packets/cycle offered by this node
+    std::vector<double> dest_cdf;   // cumulative over destinations
+    std::vector<int> dest_node;
+  };
+
+  long create_packet(int src, int dst, int bits);
+  void generate_traffic(int node);
+  /// VC index range [lo, hi) available to a packet with the given
+  /// orientation: the full range under pure DOR, a half under O1TURN.
+  [[nodiscard]] std::pair<int, int> vc_class(bool y_first) const;
+  void inject(int node);
+  void allocate(int router);
+  void arbitrate(int router);
+  void deliver_channel_arrivals();
+  void deliver_credits();
+  [[nodiscard]] bool in_measurement_window() const noexcept {
+    return cycle_ >= config_.warmup_cycles &&
+           cycle_ < config_.warmup_cycles + config_.measure_cycles;
+  }
+  [[nodiscard]] int pick_packet_bits();
+  [[nodiscard]] SimStats finalize() const;
+
+  const Network& net_;
+  SimConfig config_;
+  Rng rng_;
+
+  long cycle_ = 0;
+  std::vector<Packet> packets_;
+  std::vector<RouterState> routers_;
+  std::vector<NodeState> nodes_;
+  std::vector<std::vector<int>> ni_credits_;  // [node][vc] for port-0 VCs
+
+  // Per-channel in-flight flits (arrival cycle is monotone per channel).
+  std::vector<std::deque<std::pair<long, Flit>>> channel_flits_;
+  // Per-channel pending credit returns: (cycle, vc).
+  std::vector<std::deque<std::pair<long, int>>> channel_credits_;
+  // Pending NI credit returns: (cycle, node, vc).
+  std::deque<std::tuple<long, int, int>> ni_credit_returns_;
+  // Flits in flight from an NI into its router: (arrival cycle, node, flit).
+  std::deque<std::tuple<long, int, Flit>> ni_arrivals_;
+  // Measured packets created but not yet fully ejected.
+  long outstanding_measured_ = 0;
+  // Trace-driven injections: (create cycle, src, dst, bits), kept sorted.
+  std::vector<std::tuple<long, int, int, int>> scheduled_;
+  std::size_t next_scheduled_ = 0;
+
+  // Scratch: one grant per input port per cycle.
+  std::vector<std::vector<char>> input_port_used_;
+
+  // Measurement accumulators.
+  long contention_cycles_ = 0;
+  long grants_measured_ = 0;
+  ActivityCounters activity_;
+  std::vector<long> channel_flits_measured_;
+  std::vector<double> mix_cdf_;
+  std::vector<int> mix_bits_;
+};
+
+}  // namespace xlp::sim

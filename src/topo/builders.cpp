@@ -1,0 +1,75 @@
+#include "topo/builders.hpp"
+
+#include "util/check.hpp"
+
+namespace xlp::topo {
+
+RowTopology make_plain_row(int n) { return RowTopology(n); }
+
+RowTopology make_flattened_butterfly_row(int n) {
+  std::vector<RowLink> express;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 2; j < n; ++j) express.push_back({i, j});
+  return RowTopology(n, std::move(express));
+}
+
+RowTopology make_hfb_row(int n) {
+  XLP_REQUIRE(n >= 2 && n % 2 == 0, "HFB needs an even row size");
+  if (n <= 4) return make_flattened_butterfly_row(n);
+  const int half = n / 2;
+  std::vector<RowLink> express;
+  for (int i = 0; i < half; ++i)
+    for (int j = i + 2; j < half; ++j) express.push_back({i, j});
+  for (int i = half; i < n; ++i)
+    for (int j = i + 2; j < n; ++j) express.push_back({i, j});
+  return RowTopology(n, std::move(express));
+}
+
+int flit_bits_for_limit(int link_limit, int base_flit_bits) {
+  XLP_REQUIRE(link_limit >= 1, "link limit must be at least 1");
+  XLP_REQUIRE(base_flit_bits % link_limit == 0,
+              "link limit must divide the baseline flit width so the flit "
+              "size stays an integer number of bits");
+  return base_flit_bits / link_limit;
+}
+
+ExpressMesh make_mesh(int n, int base_flit_bits) {
+  return ExpressMesh(make_plain_row(n), 1, base_flit_bits);
+}
+
+ExpressMesh make_flattened_butterfly(int n, int base_flit_bits) {
+  const RowTopology row = make_flattened_butterfly_row(n);
+  const int limit = row.max_cut_count();
+  return ExpressMesh(row, limit, flit_bits_for_limit(limit, base_flit_bits));
+}
+
+ExpressMesh make_hfb(int n, int base_flit_bits) {
+  const RowTopology row = make_hfb_row(n);
+  const int limit = row.max_cut_count();
+  return ExpressMesh(row, limit, flit_bits_for_limit(limit, base_flit_bits));
+}
+
+ExpressMesh make_design(const RowTopology& placement, int link_limit,
+                        int base_flit_bits) {
+  XLP_REQUIRE(placement.fits_link_limit(link_limit),
+              "placement exceeds the link limit it is being packaged under");
+  return ExpressMesh(placement, link_limit,
+                     flit_bits_for_limit(link_limit, base_flit_bits));
+}
+
+ExpressMesh make_rect_mesh(int width, int height, int base_flit_bits) {
+  return ExpressMesh(RowTopology(width), RowTopology(height), 1,
+                     base_flit_bits);
+}
+
+ExpressMesh make_rect_design(const RowTopology& row_placement,
+                             const RowTopology& col_placement, int link_limit,
+                             int base_flit_bits) {
+  XLP_REQUIRE(row_placement.fits_link_limit(link_limit) &&
+                  col_placement.fits_link_limit(link_limit),
+              "placement exceeds the link limit it is being packaged under");
+  return ExpressMesh(row_placement, col_placement, link_limit,
+                     flit_bits_for_limit(link_limit, base_flit_bits));
+}
+
+}  // namespace xlp::topo

@@ -1,0 +1,61 @@
+#pragma once
+
+#include "topo/express_mesh.hpp"
+#include "topo/row_topology.hpp"
+
+namespace xlp::topo {
+
+/// Baseline flit width of the mesh network in bits (Section 5.1); with the
+/// cross-section limit C the per-link width becomes kBaseFlitBits / C.
+inline constexpr int kBaseFlitBits = 256;
+
+/// Row with local links only.
+[[nodiscard]] RowTopology make_plain_row(int n);
+
+/// Fully connected row: an express link between every non-adjacent pair;
+/// this is one row of a flattened butterfly [Kim et al., MICRO'07].
+[[nodiscard]] RowTopology make_flattened_butterfly_row(int n);
+
+/// One row of the hybrid flattened butterfly (HFB) of Section 5.1 / Fig. 4:
+/// the row is split into two halves, each half fully connected, the halves
+/// joined only by the local link across the middle. For n <= 4 the HFB
+/// degenerates to the plain flattened butterfly. Requires even n.
+[[nodiscard]] RowTopology make_hfb_row(int n);
+
+/// Per-link flit width for a given limit: base_flit_bits / C. Requires C to
+/// divide base_flit_bits.
+[[nodiscard]] int flit_bits_for_limit(int link_limit,
+                                      int base_flit_bits = kBaseFlitBits);
+
+/// Baseline n x n mesh design point (C = 1, full-width links).
+[[nodiscard]] ExpressMesh make_mesh(int n,
+                                    int base_flit_bits = kBaseFlitBits);
+
+/// Flattened-butterfly design point: fully connected rows and columns,
+/// C = n^2/4.
+[[nodiscard]] ExpressMesh make_flattened_butterfly(
+    int n, int base_flit_bits = kBaseFlitBits);
+
+/// Hybrid flattened butterfly design point (the paper's main fixed-topology
+/// competitor). Its link limit is the actual maximum cross-section of the
+/// HFB row.
+[[nodiscard]] ExpressMesh make_hfb(int n, int base_flit_bits = kBaseFlitBits);
+
+/// Wraps an optimized 1D placement into the homogeneous 2D design point for
+/// the limit it was optimized under. The placement must fit `link_limit` and
+/// `link_limit` must divide base_flit_bits.
+[[nodiscard]] ExpressMesh make_design(const RowTopology& placement,
+                                      int link_limit,
+                                      int base_flit_bits = kBaseFlitBits);
+
+/// Rectangular baseline mesh: width x height routers, local links only.
+[[nodiscard]] ExpressMesh make_rect_mesh(int width, int height,
+                                         int base_flit_bits = kBaseFlitBits);
+
+/// Rectangular homogeneous design: one placement for rows (size = width)
+/// and one for columns (size = height), both fitting `link_limit`.
+[[nodiscard]] ExpressMesh make_rect_design(
+    const RowTopology& row_placement, const RowTopology& col_placement,
+    int link_limit, int base_flit_bits = kBaseFlitBits);
+
+}  // namespace xlp::topo

@@ -1,0 +1,55 @@
+#include "topo/render.hpp"
+
+#include <sstream>
+
+#include "topo/connection_matrix.hpp"
+
+namespace xlp::topo {
+
+std::string render_row(const RowTopology& row) {
+  const int n = row.size();
+  const int columns = 4 * (n - 1) + 1;  // router i sits at column 4*i
+  std::ostringstream os;
+
+  // Index line (mod 10 for wide rows) and router line.
+  for (int r = 0; r < n; ++r) {
+    os << (r % 10);
+    if (r + 1 < n) os << "   ";
+  }
+  os << '\n';
+  for (int r = 0; r < n; ++r) {
+    os << 'o';
+    if (r + 1 < n) os << "---";
+  }
+  os << '\n';
+
+  // Layered express links: reuse the interval partition of the encoder so
+  // overlapping links land on different lines.
+  if (!row.express_links().empty()) {
+    const auto matrix = ConnectionMatrix::encode(row, row.max_cut_count());
+    for (int layer = 0; layer < matrix.layers(); ++layer) {
+      const RowTopology decoded_layer = [&] {
+        ConnectionMatrix single(n, 2);
+        for (int i = 0; i < matrix.interior(); ++i)
+          single.set_bit(0, i, matrix.bit(layer, i));
+        return single.decode();
+      }();
+      if (decoded_layer.express_links().empty()) continue;
+      std::string line(static_cast<std::size_t>(columns), ' ');
+      for (const RowLink& link : decoded_layer.express_links()) {
+        const int from = 4 * link.lo;
+        const int to = 4 * link.hi;
+        line[static_cast<std::size_t>(from)] = '+';
+        line[static_cast<std::size_t>(to)] = '+';
+        for (int c = from + 1; c < to; ++c)
+          line[static_cast<std::size_t>(c)] = '=';
+      }
+      // Trim trailing spaces.
+      while (!line.empty() && line.back() == ' ') line.pop_back();
+      os << line << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace xlp::topo

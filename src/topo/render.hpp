@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+
+#include "topo/row_topology.hpp"
+
+namespace xlp::topo {
+
+/// Renders a 1D placement as ASCII art in the style of the paper's Fig. 2:
+/// a router line followed by one line per express-link layer (layers are
+/// the same interval partition the connection-matrix encoding uses).
+///
+///   0   1   2   3   4   5   6   7
+///   o---o---o---o---o---o---o---o
+///       +=======+
+///               +===============+
+///
+/// Useful for logs, examples and documentation; every character is plain
+/// ASCII so it renders everywhere.
+[[nodiscard]] std::string render_row(const RowTopology& row);
+
+}  // namespace xlp::topo

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace xlp {
+
+/// Thrown when a caller violates a documented precondition of a public API.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is broken (a bug in this library).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+}  // namespace xlp
+
+/// Validate a caller-supplied argument; throws xlp::PreconditionError.
+#define XLP_REQUIRE(expr, msg)                                             \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::xlp::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Validate an internal invariant; throws xlp::InvariantError.
+#define XLP_CHECK(expr, msg)                                            \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::xlp::detail::throw_invariant(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

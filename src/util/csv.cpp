@@ -1,0 +1,63 @@
+#include "util/csv.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace xlp {
+
+namespace {
+
+std::string escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  XLP_REQUIRE(!header_.empty(), "CSV needs at least one column");
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  XLP_REQUIRE(cells.size() == header_.size(),
+              "row arity does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::write(std::ostream& os) const {
+  auto write_row = [&os](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << escape(row[c]);
+    }
+    os << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  write(out);
+  return out.good();
+}
+
+std::string csv_output_dir() {
+  if (const char* dir = std::getenv("XLP_OUTPUT_DIR")) return dir;
+  return {};
+}
+
+}  // namespace xlp

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xlp {
+
+/// Minimal RFC-4180-ish CSV writer for the experiment harnesses: every
+/// bench can dump the series behind its printed table so the paper's plots
+/// can be regenerated with any plotting tool. Fields containing commas,
+/// quotes or newlines are quoted; quotes are doubled.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  void write(std::ostream& os) const;
+
+  /// Writes to a file; returns false (without throwing) when the file
+  /// cannot be opened — benches treat CSV output as best-effort.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Directory benches write their CSVs into: the XLP_OUTPUT_DIR environment
+/// variable, or an empty string when unset (meaning: don't write).
+[[nodiscard]] std::string csv_output_dir();
+
+}  // namespace xlp

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+
+#include "util/check.hpp"
+
+namespace xlp {
+
+/// ceil(a / b) for non-negative integers; b must be > 0.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+constexpr bool is_power_of_two(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Arithmetic mean of a non-empty range.
+inline double mean(std::span<const double> xs) {
+  XLP_REQUIRE(!xs.empty(), "mean of empty range");
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+/// Relative change (a - b) / b as a percentage; b must be non-zero.
+inline double percent_change(double a, double b) {
+  XLP_REQUIRE(b != 0.0, "percent_change with zero base");
+  return (a - b) / b * 100.0;
+}
+
+}  // namespace xlp

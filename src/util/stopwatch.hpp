@@ -1,0 +1,29 @@
+#pragma once
+
+#include <chrono>
+
+namespace xlp {
+
+/// Monotonic wall-clock stopwatch used to report optimizer runtimes
+/// (Fig. 7 and Fig. 12 compare algorithm runtimes).
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const noexcept {
+    return seconds() * 1e3;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace xlp

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xlp {
+
+/// Minimal fixed-column text table used by the experiment harnesses to print
+/// the rows/series that the paper's tables and figures report.
+///
+/// Usage:
+///   Table t({"benchmark", "mesh", "hfb", "dcsa"});
+///   t.add_row({"canneal", "25.9", "21.4", "19.8"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with fixed precision.
+  static std::string fmt(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xlp

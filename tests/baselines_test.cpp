@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/branch_bound.hpp"
+#include "util/check.hpp"
+
+namespace xlp::core {
+namespace {
+
+route::HopWeights paper_weights() { return route::HopWeights{}; }
+
+TEST(GreedyInsertion, ProducesFeasiblePlacements) {
+  for (const auto& [n, limit] :
+       {std::pair{4, 2}, std::pair{8, 4}, std::pair{16, 2},
+        std::pair{16, 8}}) {
+    const RowObjective obj(n, paper_weights());
+    const PlacementResult result = solve_greedy_insertion(obj, limit);
+    EXPECT_TRUE(result.placement.fits_link_limit(limit))
+        << "n=" << n << " C=" << limit;
+    EXPECT_EQ(result.method, "greedy-insertion");
+    EXPECT_LE(result.value, obj.evaluate(topo::RowTopology(n)) + 1e-12);
+  }
+}
+
+TEST(GreedyInsertion, IsDeterministic) {
+  const RowObjective obj(8, paper_weights());
+  const auto a = solve_greedy_insertion(obj, 4);
+  const auto b = solve_greedy_insertion(obj, 4);
+  EXPECT_EQ(a.placement, b.placement);
+  EXPECT_DOUBLE_EQ(a.value, b.value);
+}
+
+TEST(GreedyInsertion, NoExpressWhenLimitIsOne) {
+  const RowObjective obj(8, paper_weights());
+  const auto result = solve_greedy_insertion(obj, 1);
+  EXPECT_TRUE(result.placement.express_links().empty());
+}
+
+TEST(GreedyInsertion, NearOptimalOnSmallProblems) {
+  const RowObjective obj(8, paper_weights());
+  BranchAndBound bb(obj, 3);
+  const double optimum = bb.solve().value;
+  const auto greedy = solve_greedy_insertion(obj, 3);
+  EXPECT_LE(greedy.value, optimum * 1.15);
+}
+
+TEST(HillClimb, RespectsTheBudgetAndTheLimit) {
+  const RowObjective obj(8, paper_weights());
+  Rng rng(3);
+  const long before = obj.evaluations();
+  const auto result = solve_hill_climb(obj, 4, 300, rng);
+  EXPECT_TRUE(result.placement.fits_link_limit(4));
+  // Steepest descent may finish the neighborhood scan it started, so allow
+  // one extra sweep beyond the nominal budget.
+  EXPECT_LE(obj.evaluations() - before,
+            300 + topo::ConnectionMatrix(8, 4).bit_count() + 2);
+}
+
+TEST(HillClimb, FindsTheOptimumOnSmallProblems) {
+  const RowObjective obj(6, paper_weights());
+  BranchAndBound bb(obj, 3);
+  const double optimum = bb.solve().value;
+  Rng rng(5);
+  const auto result = solve_hill_climb(obj, 3, 3000, rng);
+  EXPECT_NEAR(result.value, optimum, 1e-9);
+}
+
+TEST(HillClimb, DegenerateSpaceReturnsPlainRow) {
+  const RowObjective obj(8, paper_weights());
+  Rng rng(1);
+  const auto result = solve_hill_climb(obj, 1, 100, rng);
+  EXPECT_EQ(result.placement, topo::RowTopology(8));
+}
+
+TEST(Ga, ValidatesParameters) {
+  const RowObjective obj(8, paper_weights());
+  Rng rng(1);
+  GaParams bad;
+  bad.population = 1;
+  EXPECT_THROW(solve_ga(obj, 4, bad, rng), PreconditionError);
+  bad = GaParams{};
+  bad.elites = 99;
+  EXPECT_THROW(solve_ga(obj, 4, bad, rng), PreconditionError);
+}
+
+TEST(Ga, ProducesFeasibleResultsWithinBudget) {
+  const RowObjective obj(16, paper_weights());
+  Rng rng(7);
+  GaParams params;
+  params.max_evaluations = 1500;
+  const long before = obj.evaluations();
+  const auto result = solve_ga(obj, 4, params, rng);
+  EXPECT_TRUE(result.placement.fits_link_limit(4));
+  // One generation may overshoot by at most a population's worth.
+  EXPECT_LE(obj.evaluations() - before,
+            params.max_evaluations + params.population);
+  EXPECT_EQ(result.method, "GA");
+}
+
+TEST(Ga, FindsTheOptimumOnSmallProblems) {
+  const RowObjective obj(6, paper_weights());
+  BranchAndBound bb(obj, 3);
+  const double optimum = bb.solve().value;
+  Rng rng(11);
+  GaParams params;
+  params.max_evaluations = 4000;
+  const auto result = solve_ga(obj, 3, params, rng);
+  EXPECT_NEAR(result.value, optimum, 1e-9);
+}
+
+TEST(Ga, ElitismNeverLosesTheBest) {
+  const RowObjective obj(8, paper_weights());
+  Rng rng(13);
+  GaParams params;
+  params.max_evaluations = 600;
+  const auto first = solve_ga(obj, 4, params, rng);
+  params.max_evaluations = 2400;
+  Rng rng2(13);
+  const auto longer = solve_ga(obj, 4, params, rng2);
+  EXPECT_LE(longer.value, first.value + 1e-12);
+}
+
+}  // namespace
+}  // namespace xlp::core

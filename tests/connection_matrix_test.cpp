@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "test_util.hpp"
+#include "topo/connection_matrix.hpp"
+#include "util/check.hpp"
+
+namespace xlp::topo {
+namespace {
+
+TEST(ConnectionMatrix, DimensionsMatchTheFormulation) {
+  const ConnectionMatrix m(8, 4);
+  EXPECT_EQ(m.layers(), 3);     // C - 1
+  EXPECT_EQ(m.interior(), 6);   // n - 2
+  EXPECT_EQ(m.bit_count(), 18);
+}
+
+TEST(ConnectionMatrix, DegenerateCasesHaveNoBits) {
+  EXPECT_EQ(ConnectionMatrix(8, 1).bit_count(), 0);  // C=1: locals only
+  EXPECT_EQ(ConnectionMatrix(2, 4).bit_count(), 0);  // no interior router
+  EXPECT_EQ(ConnectionMatrix(2, 1).decode(), RowTopology(2));
+}
+
+TEST(ConnectionMatrix, RejectsBadArguments) {
+  EXPECT_THROW(ConnectionMatrix(1, 2), PreconditionError);
+  EXPECT_THROW(ConnectionMatrix(4, 0), PreconditionError);
+  ConnectionMatrix m(8, 4);
+  EXPECT_THROW(m.bit(3, 0), PreconditionError);
+  EXPECT_THROW(m.bit(0, 6), PreconditionError);
+  EXPECT_THROW(m.flip_flat(18), PreconditionError);
+  EXPECT_THROW(m.flip_flat(-1), PreconditionError);
+}
+
+TEST(ConnectionMatrix, EmptyMatrixDecodesToPlainRow) {
+  const ConnectionMatrix m(8, 4);
+  EXPECT_EQ(m.decode(), RowTopology(8));
+}
+
+TEST(ConnectionMatrix, PaperFigure2Decode) {
+  // Figure 2: P̄(8,4); top layer has the connection point at router 3
+  // (1-based) set, making an express link router 2 -> router 4; another
+  // layer has points at routers 5,6,7 set, making the link 4 -> 8.
+  // In 0-based coordinates: bit at interior index 1 (router 2) in layer 0,
+  // bits at interior indices 3,4,5 (routers 4,5,6) in layer 1.
+  ConnectionMatrix m(8, 4);
+  m.set_bit(0, 1, true);
+  for (int i = 3; i <= 5; ++i) m.set_bit(1, i, true);
+  const RowTopology row = m.decode();
+  EXPECT_EQ(row.express_links(), (std::vector<RowLink>{{1, 3}, {3, 7}}));
+  EXPECT_TRUE(row.fits_link_limit(4));
+}
+
+TEST(ConnectionMatrix, SingleBitMakesTwoHopLink) {
+  ConnectionMatrix m(8, 2);
+  m.set_bit(0, 0, true);  // interior router 1
+  EXPECT_EQ(m.decode().express_links(), (std::vector<RowLink>{{0, 2}}));
+}
+
+TEST(ConnectionMatrix, FullLayerMakesEndToEndLink) {
+  ConnectionMatrix m(8, 2);
+  for (int i = 0; i < 6; ++i) m.set_bit(0, i, true);
+  EXPECT_EQ(m.decode().express_links(), (std::vector<RowLink>{{0, 7}}));
+}
+
+TEST(ConnectionMatrix, GapSplitsRuns) {
+  ConnectionMatrix m(8, 2);
+  m.set_bit(0, 0, true);
+  m.set_bit(0, 1, true);
+  // gap at interior 2
+  m.set_bit(0, 3, true);
+  EXPECT_EQ(m.decode().express_links(),
+            (std::vector<RowLink>{{0, 3}, {3, 5}}));
+}
+
+TEST(ConnectionMatrix, FlatAndCoordinateBitsAgree) {
+  ConnectionMatrix m(8, 4);
+  m.flip_flat(7);  // layer 1, interior 1
+  EXPECT_TRUE(m.bit(1, 1));
+  EXPECT_TRUE(m.bit_flat(7));
+  m.flip_bit(1, 1);
+  EXPECT_FALSE(m.bit_flat(7));
+}
+
+TEST(ConnectionMatrix, ToStringShowsLayers) {
+  ConnectionMatrix m(5, 3);
+  m.set_bit(0, 0, true);
+  m.set_bit(1, 2, true);
+  EXPECT_EQ(m.to_string(), "100|001");
+}
+
+// ---------------------------------------------------------------------------
+// Property suites over (n, C): the two halves of the paper's claim that the
+// connection-matrix space is exactly the valid-placement space.
+
+using SizeLimit = std::tuple<int, int>;
+
+class MatrixProperty : public ::testing::TestWithParam<SizeLimit> {};
+
+TEST_P(MatrixProperty, EveryRandomMatrixDecodesToValidPlacement) {
+  const auto [n, limit] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 1000 + limit));
+  for (int trial = 0; trial < 200; ++trial) {
+    for (double density : {0.1, 0.5, 0.9}) {
+      const auto m = ConnectionMatrix::random(n, limit, rng, density);
+      const RowTopology row = m.decode();
+      EXPECT_TRUE(row.fits_link_limit(limit))
+          << "n=" << n << " C=" << limit << " m=" << m.to_string();
+      for (const RowLink& link : row.express_links())
+        EXPECT_GE(link.length(), 2);
+    }
+  }
+}
+
+TEST_P(MatrixProperty, EveryValidPlacementIsReachable) {
+  // encode() then decode() must reproduce the same express-link multiset:
+  // the constructive proof that no valid placement is lost.
+  const auto [n, limit] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 7919 + limit));
+  for (int trial = 0; trial < 200; ++trial) {
+    const RowTopology row = test::random_valid_row(n, limit, rng);
+    const auto encoded = ConnectionMatrix::encode(row, limit);
+    EXPECT_EQ(encoded.decode(), row) << row.to_string();
+  }
+}
+
+TEST_P(MatrixProperty, FlippingAnyBitStaysValid) {
+  const auto [n, limit] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n * 31 + limit));
+  ConnectionMatrix m = ConnectionMatrix::random(n, limit, rng, 0.5);
+  for (int bit = 0; bit < m.bit_count(); ++bit) {
+    m.flip_flat(bit);
+    EXPECT_TRUE(m.decode().fits_link_limit(limit));
+    m.flip_flat(bit);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndLimits, MatrixProperty,
+    ::testing::Values(SizeLimit{4, 2}, SizeLimit{4, 4}, SizeLimit{8, 2},
+                      SizeLimit{8, 3}, SizeLimit{8, 4}, SizeLimit{8, 16},
+                      SizeLimit{16, 2}, SizeLimit{16, 4}, SizeLimit{16, 8},
+                      SizeLimit{5, 3}, SizeLimit{7, 2}, SizeLimit{3, 2}),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_C" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ConnectionMatrixEncode, RejectsOverLimitPlacement) {
+  const RowTopology row(8, {{0, 4}, {1, 5}, {2, 6}});  // max cut 4
+  EXPECT_THROW(ConnectionMatrix::encode(row, 2), PreconditionError);
+  EXPECT_NO_THROW(ConnectionMatrix::encode(row, 4));
+}
+
+TEST(ConnectionMatrixEncode, HandlesTouchingLinksInOneLayer) {
+  // (0,2) and (2,4) share router 2 but no cut; one layer must suffice.
+  const RowTopology row(6, {{0, 2}, {2, 4}});
+  const auto m = ConnectionMatrix::encode(row, 2);
+  EXPECT_EQ(m.decode(), row);
+}
+
+TEST(ConnectionMatrixEncode, HandlesDuplicateParallelLinks) {
+  const RowTopology row(6, {{1, 4}, {1, 4}});
+  const auto m = ConnectionMatrix::encode(row, 3);
+  EXPECT_EQ(m.decode(), row);
+  EXPECT_THROW(ConnectionMatrix::encode(row, 2), PreconditionError);
+}
+
+TEST(ConnectionMatrixEncode, PaperSolutionRoundTrips) {
+  const RowTopology paper_best(8, {{1, 3}, {3, 7}});
+  const auto m = ConnectionMatrix::encode(paper_best, 4);
+  EXPECT_EQ(m.decode(), paper_best);
+}
+
+TEST(ConnectionMatrixRandom, DensityZeroAndOne) {
+  Rng rng(1);
+  const auto empty = ConnectionMatrix::random(8, 4, rng, 0.0);
+  EXPECT_EQ(empty.decode(), RowTopology(8));
+  const auto full = ConnectionMatrix::random(8, 4, rng, 1.0);
+  // All bits set: every layer is the end-to-end link.
+  EXPECT_EQ(full.decode().express_links(),
+            (std::vector<RowLink>{{0, 7}, {0, 7}, {0, 7}}));
+}
+
+}  // namespace
+}  // namespace xlp::topo

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/csv.hpp"
+
+namespace xlp {
+namespace {
+
+TEST(Csv, WritesHeaderAndRows) {
+  CsvWriter csv({"a", "b"});
+  csv.add_row({"1", "2"});
+  csv.add_row({"3", "4"});
+  std::ostringstream os;
+  csv.write(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(csv.rows(), 2u);
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  CsvWriter csv({"field"});
+  csv.add_row({"plain"});
+  csv.add_row({"with,comma"});
+  csv.add_row({"with\"quote"});
+  csv.add_row({"with\nnewline"});
+  std::ostringstream os;
+  csv.write(os);
+  EXPECT_EQ(os.str(),
+            "field\nplain\n\"with,comma\"\n\"with\"\"quote\"\n"
+            "\"with\nnewline\"\n");
+}
+
+TEST(Csv, ValidatesArity) {
+  CsvWriter csv({"a", "b"});
+  EXPECT_THROW(csv.add_row({"only one"}), PreconditionError);
+  EXPECT_THROW(CsvWriter({}), PreconditionError);
+}
+
+TEST(Csv, WriteFileRoundTrip) {
+  CsvWriter csv({"x"});
+  csv.add_row({"42"});
+  const std::string path = testing::TempDir() + "/xlp_csv_test.csv";
+  ASSERT_TRUE(csv.write_file(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "x\n42\n");
+}
+
+TEST(Csv, WriteFileFailsGracefully) {
+  CsvWriter csv({"x"});
+  EXPECT_FALSE(csv.write_file("/nonexistent_dir_zzz/file.csv"));
+}
+
+TEST(Csv, OutputDirFromEnvironment) {
+  unsetenv("XLP_OUTPUT_DIR");
+  EXPECT_TRUE(csv_output_dir().empty());
+  setenv("XLP_OUTPUT_DIR", "/tmp/plots", 1);
+  EXPECT_EQ(csv_output_dir(), "/tmp/plots");
+  unsetenv("XLP_OUTPUT_DIR");
+}
+
+}  // namespace
+}  // namespace xlp

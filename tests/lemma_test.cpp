@@ -1,0 +1,96 @@
+// Numerical verification of the paper's central Lemma (Section 4.2): with
+// dimension-order routing, the 2D placement problem reduces to the 1D row
+// problem. For a homogeneous design (one placement replicated over all rows
+// and columns), Eq. (5) specializes — averaging over ordered pairs with
+// src != dst — to
+//
+//   L_D,avg  =  2 * n/(n+1) * L̄_row  +  Tr
+//
+// where L̄_row is the average pairwise head cost within one row and the
+// trailing Tr is the destination-router cycle our calibration charges.
+// (Derivation: each of the n^2*(n^2-1) ordered pairs contributes one row
+// segment and one column segment; each ordered row pair (a,b), a != b,
+// appears n^2 times, and there are n*(n-1) such pairs per dimension.)
+//
+// This is the property that makes the whole approach sound: optimizing the
+// row objective *is* optimizing the mesh. It must hold for every valid
+// placement, so we sweep random placements, sizes and limits.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "latency/model.hpp"
+#include "route/directional_paths.hpp"
+#include "test_util.hpp"
+#include "topo/builders.hpp"
+#include "util/check.hpp"
+
+namespace xlp {
+namespace {
+
+using SizeLimitSeed = std::tuple<int, int, int>;
+
+class ReductionLemma : public ::testing::TestWithParam<SizeLimitSeed> {};
+
+TEST_P(ReductionLemma, MeshAverageEqualsRowAverageFormula) {
+  const auto [n, limit, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed * 1009 + n * 31 + limit));
+  const topo::RowTopology row = test::random_valid_row(n, limit, rng);
+  const topo::ExpressMesh mesh(row, limit, 64);
+
+  const route::DirectionalShortestPaths paths(row, route::HopWeights{});
+  const double row_avg = paths.average_cost();
+
+  const latency::MeshLatencyModel model(mesh,
+                                        latency::LatencyParams::zero_load());
+  const double expected = 2.0 * n / (n + 1.0) * row_avg + 3.0;
+  EXPECT_NEAR(model.average().head, expected, 1e-9) << row.to_string();
+}
+
+TEST_P(ReductionLemma, RowImprovementImpliesMeshImprovement) {
+  // The lemma's consequence: if placement A beats placement B on the row
+  // objective, A's homogeneous mesh beats B's. Strict monotonicity over
+  // random pairs of placements.
+  const auto [n, limit, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed * 7907 + n * 13 + limit));
+  const topo::RowTopology a = test::random_valid_row(n, limit, rng);
+  const topo::RowTopology b = test::random_valid_row(n, limit, rng);
+  const route::DirectionalShortestPaths pa(a, route::HopWeights{});
+  const route::DirectionalShortestPaths pb(b, route::HopWeights{});
+  const latency::MeshLatencyModel ma(topo::ExpressMesh(a, limit, 64),
+                                     latency::LatencyParams::zero_load());
+  const latency::MeshLatencyModel mb(topo::ExpressMesh(b, limit, 64),
+                                     latency::LatencyParams::zero_load());
+  const double row_delta = pa.average_cost() - pb.average_cost();
+  const double mesh_delta = ma.average().head - mb.average().head;
+  if (std::abs(row_delta) > 1e-9)
+    EXPECT_GT(row_delta * mesh_delta, 0.0)
+        << a.to_string() << " vs " << b.to_string();
+  else
+    EXPECT_NEAR(mesh_delta, 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReductionLemma,
+    ::testing::Combine(::testing::Values(4, 5, 8, 16),
+                       ::testing::Values(2, 4),
+                       ::testing::Values(1, 2, 3, 4, 5)));
+
+TEST(ReductionLemmaFixed, HoldsForMeshHfbAndButterfly) {
+  for (int n : {4, 8}) {
+    for (const auto& design :
+         {topo::make_mesh(n), topo::make_hfb(n),
+          topo::make_flattened_butterfly(n)}) {
+      const route::DirectionalShortestPaths paths(design.row(0),
+                                                  route::HopWeights{});
+      const latency::MeshLatencyModel model(
+          design, latency::LatencyParams::zero_load());
+      EXPECT_NEAR(model.average().head,
+                  2.0 * n / (n + 1.0) * paths.average_cost() + 3.0, 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xlp

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "core/branch_bound.hpp"
+#include "core/portfolio.hpp"
+#include "util/check.hpp"
+
+namespace xlp::core {
+namespace {
+
+TEST(Portfolio, ValidatesChainCount) {
+  PortfolioOptions options;
+  options.chains = 0;
+  EXPECT_THROW(
+      solve_portfolio(8, route::HopWeights{}, std::nullopt, 4, options, 1),
+      PreconditionError);
+}
+
+TEST(Portfolio, SingleChainMatchesSequentialSolve) {
+  PortfolioOptions options;
+  options.chains = 1;
+  options.sa = SaParams{}.with_moves(800);
+  const auto portfolio =
+      solve_portfolio(8, route::HopWeights{}, std::nullopt, 4, options, 42);
+
+  const RowObjective objective(8, route::HopWeights{});
+  Rng base(42);
+  Rng rng = base.fork(0);
+  const auto sequential =
+      solve_dcsa(objective, 4, options.sa, rng);
+  EXPECT_EQ(portfolio.best.placement, sequential.placement);
+  EXPECT_DOUBLE_EQ(portfolio.best.value, sequential.value);
+  EXPECT_EQ(portfolio.best.method, "D&C_SA-portfolio");
+}
+
+TEST(Portfolio, DeterministicAcrossRuns) {
+  PortfolioOptions options;
+  options.chains = 4;
+  options.sa = SaParams{}.with_moves(500);
+  const auto a =
+      solve_portfolio(16, route::HopWeights{}, std::nullopt, 4, options, 7);
+  const auto b =
+      solve_portfolio(16, route::HopWeights{}, std::nullopt, 4, options, 7);
+  EXPECT_EQ(a.best.placement, b.best.placement);
+  EXPECT_EQ(a.chain_values, b.chain_values);
+}
+
+TEST(Portfolio, BestIsMinOfChains) {
+  PortfolioOptions options;
+  options.chains = 4;
+  options.sa = SaParams{}.with_moves(500);
+  const auto result =
+      solve_portfolio(16, route::HopWeights{}, std::nullopt, 4, options, 9);
+  ASSERT_EQ(result.chain_values.size(), 4u);
+  for (const double v : result.chain_values)
+    EXPECT_LE(result.best.value, v + 1e-12);
+  EXPECT_GT(result.total_evaluations, 0);
+  EXPECT_TRUE(result.best.placement.fits_link_limit(4));
+}
+
+TEST(Portfolio, NeverWorseThanItsWorstChain) {
+  // Portfolio quality dominates single-seed quality in expectation; at
+  // minimum it can never be worse than any individual chain.
+  PortfolioOptions options;
+  options.chains = 6;
+  options.sa = SaParams{}.with_moves(300);
+  const auto result =
+      solve_portfolio(16, route::HopWeights{}, std::nullopt, 8, options, 3);
+  double worst = result.chain_values.front();
+  for (const double v : result.chain_values) worst = std::max(worst, v);
+  EXPECT_LE(result.best.value, worst);
+}
+
+TEST(Portfolio, FindsTheOptimumOnSmallProblems) {
+  const RowObjective objective(8, route::HopWeights{});
+  BranchAndBound bb(objective, 3);
+  const double optimum = bb.solve().value;
+  PortfolioOptions options;
+  options.chains = 4;
+  options.sa = SaParams{}.with_moves(3000);
+  const auto result =
+      solve_portfolio(8, route::HopWeights{}, std::nullopt, 3, options, 5);
+  EXPECT_NEAR(result.best.value, optimum, 1e-9);
+}
+
+TEST(Portfolio, WeightedObjectiveWorks) {
+  std::vector<double> weights(64, 0.0);
+  weights[0 * 8 + 7] = 1.0;
+  PortfolioOptions options;
+  options.chains = 2;
+  options.sa = SaParams{}.with_moves(500);
+  const auto result =
+      solve_portfolio(8, route::HopWeights{}, weights, 4, options, 11);
+  // Demand is a single 0->7 flow: the best placement gives it a short path.
+  const route::DirectionalShortestPaths paths(result.best.placement,
+                                              route::HopWeights{});
+  EXPECT_LE(paths.cost(0, 7), 12.0);
+}
+
+}  // namespace
+}  // namespace xlp::core

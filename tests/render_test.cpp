@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "topo/render.hpp"
+
+namespace xlp::topo {
+namespace {
+
+TEST(Render, PlainRow) {
+  const std::string art = render_row(RowTopology(4));
+  EXPECT_EQ(art,
+            "0   1   2   3\n"
+            "o---o---o---o\n");
+}
+
+TEST(Render, SingleExpressLink) {
+  const std::string art = render_row(RowTopology(4, {{0, 2}}));
+  EXPECT_EQ(art,
+            "0   1   2   3\n"
+            "o---o---o---o\n"
+            "+=======+\n");
+}
+
+TEST(Render, PaperFigure2Placement) {
+  const std::string art = render_row(RowTopology(8, {{1, 3}, {3, 7}}));
+  EXPECT_EQ(art,
+            "0   1   2   3   4   5   6   7\n"
+            "o---o---o---o---o---o---o---o\n"
+            "    +=======+===============+\n");
+  // Note: (1,3) and (3,7) touch at router 3 and share no cut, so the
+  // encoder packs them into one layer; the shared '+' marks the junction.
+}
+
+TEST(Render, OverlappingLinksUseSeparateLayers) {
+  const std::string art = render_row(RowTopology(6, {{0, 3}, {2, 5}}));
+  EXPECT_EQ(art,
+            "0   1   2   3   4   5\n"
+            "o---o---o---o---o---o\n"
+            "+===========+\n"
+            "        +===========+\n");
+}
+
+TEST(Render, WideRowsWrapIndexDigits) {
+  const std::string art = render_row(RowTopology(12));
+  EXPECT_NE(art.find("0   1   2   3   4   5   6   7   8   9   0   1"),
+            std::string::npos);
+}
+
+TEST(Render, EveryRandomPlacementRendersConsistently) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const RowTopology row = test::random_valid_row(8, 4, rng);
+    const std::string art = render_row(row);
+    // Two header lines plus at most C-1 layers.
+    const auto lines = std::count(art.begin(), art.end(), '\n');
+    EXPECT_GE(lines, 2);
+    EXPECT_LE(lines, 2 + row.max_cut_count() - 1 + 1);
+    // The number of '+' characters is even-ish per link: each link draws
+    // two endpoints but junctions can merge; just require presence.
+    if (!row.express_links().empty())
+      EXPECT_NE(art.find('='), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace xlp::topo

@@ -1,0 +1,146 @@
+// Behavioral tests of the annealing machinery itself: acceptance
+// statistics across the cooling schedule, the naive generator's waste as a
+// function of the limit, branch-and-bound search effort, and the D&C
+// threshold option.
+
+#include <gtest/gtest.h>
+
+#include "core/branch_bound.hpp"
+#include "core/dnc.hpp"
+#include "core/naive_sa.hpp"
+#include "core/sa.hpp"
+#include "util/check.hpp"
+
+namespace xlp::core {
+namespace {
+
+route::HopWeights paper_weights() { return route::HopWeights{}; }
+
+TEST(SaBehavior, HotAnnealerAcceptsMostMoves) {
+  // With T far above any latency delta, nearly every move is accepted.
+  const RowObjective obj(8, paper_weights());
+  SaParams params;
+  params.initial_temperature = 1e6;
+  params.total_moves = 2000;
+  params.moves_per_cool = 2000;  // effectively no cooling
+  Rng rng(1);
+  const SaResult result = anneal_connection_matrix(
+      topo::ConnectionMatrix(8, 4), obj, params, rng);
+  EXPECT_GT(static_cast<double>(result.accepted) / result.moves, 0.95);
+}
+
+TEST(SaBehavior, ColdAnnealerOnlyAcceptsImprovements) {
+  // With T near zero, exp(-d/T) underflows for any worsening move: the
+  // annealer degenerates to a stochastic hill climber.
+  const RowObjective obj(8, paper_weights());
+  SaParams params;
+  params.initial_temperature = 1e-9;
+  params.total_moves = 2000;
+  params.moves_per_cool = 2000;
+  Rng rng(2);
+  const SaResult result = anneal_connection_matrix(
+      topo::ConnectionMatrix(8, 4), obj, params, rng);
+  EXPECT_EQ(result.accepted, result.improved);
+}
+
+TEST(SaBehavior, AcceptanceRateFallsAsTheScheduleCools) {
+  // Run two annealers from the same state: one sampled at the start of the
+  // schedule, one configured to start at the final temperature. Acceptance
+  // at the cold end must be lower.
+  const RowObjective obj(16, paper_weights());
+  Rng rng(3);
+  const auto initial = topo::ConnectionMatrix::random(16, 4, rng, 0.5);
+
+  SaParams hot;
+  hot.initial_temperature = 10.0;
+  hot.total_moves = 1500;
+  hot.moves_per_cool = 1500;
+  Rng r1(4);
+  const SaResult hot_result =
+      anneal_connection_matrix(initial, obj, hot, r1);
+
+  SaParams cold = hot;
+  cold.initial_temperature = 10.0 / 1024.0;  // after ten cooldowns
+  Rng r2(4);
+  const SaResult cold_result =
+      anneal_connection_matrix(initial, obj, cold, r2);
+
+  EXPECT_GT(static_cast<double>(hot_result.accepted) / hot_result.moves,
+            static_cast<double>(cold_result.accepted) / cold_result.moves);
+}
+
+TEST(SaBehavior, MovesEqualTheConfiguredBudget) {
+  const RowObjective obj(8, paper_weights());
+  Rng rng(5);
+  const SaResult result = anneal_connection_matrix(
+      topo::ConnectionMatrix(8, 4), obj, SaParams{}.with_moves(777), rng);
+  EXPECT_EQ(result.moves, 777);
+}
+
+TEST(NaiveSaBehavior, WasteGrowsAsTheLimitTightens) {
+  // The tighter the cut limit, the more naive candidates are infeasible —
+  // the quantitative version of Section 4.4.2's complaint.
+  const RowObjective obj(8, paper_weights());
+  const SaParams params = SaParams{}.with_moves(4000);
+  double waste[2];
+  int i = 0;
+  for (const int limit : {8, 2}) {
+    Rng rng(6);
+    const NaiveSaResult result = anneal_naive_links(
+        topo::RowTopology(8), obj, limit, params, rng);
+    waste[i++] = static_cast<double>(result.invalid_moves) /
+                 params.total_moves;
+  }
+  EXPECT_GT(waste[1], waste[0]);
+}
+
+TEST(BranchBoundBehavior, EffortGrowsWithTheLimit) {
+  // More cross-section budget means a larger feasible space to enumerate.
+  const RowObjective obj(8, paper_weights());
+  long nodes_prev = 0;
+  for (const int limit : {1, 2, 3, 4}) {
+    BranchAndBound bb(obj, limit);
+    const long nodes = bb.solve().nodes_explored;
+    EXPECT_GE(nodes, nodes_prev) << "C=" << limit;
+    nodes_prev = nodes;
+  }
+}
+
+TEST(BranchBoundBehavior, OptimumImprovesWeaklyWithTheLimit) {
+  const RowObjective obj(8, paper_weights());
+  double prev = 1e9;
+  for (const int limit : {1, 2, 3, 4}) {
+    BranchAndBound bb(obj, limit);
+    const double value = bb.solve().value;
+    EXPECT_LE(value, prev + 1e-12) << "C=" << limit;
+    prev = value;
+  }
+}
+
+TEST(DncBehavior, LargerExactThresholdCanOnlyHelp) {
+  // Solving bigger leaves exactly gives a weakly better initial solution.
+  const RowObjective obj(16, paper_weights());
+  DncOptions small;
+  small.bb_threshold = 2;
+  DncOptions big;
+  big.bb_threshold = 8;
+  const DncResult coarse = dnc_initial_solution(obj, 4, small);
+  const DncResult fine = dnc_initial_solution(obj, 4, big);
+  EXPECT_LE(fine.value, coarse.value + 1e-9);
+}
+
+TEST(DncBehavior, EvaluationCostGrowsWithTheThreshold) {
+  RowObjective obj(16, paper_weights());
+  DncOptions small;
+  small.bb_threshold = 4;
+  (void)dnc_initial_solution(obj, 4, small);
+  const long cheap = obj.evaluations();
+  obj.reset_evaluations();
+  DncOptions big;
+  big.bb_threshold = 8;
+  (void)dnc_initial_solution(obj, 4, big);
+  EXPECT_GT(obj.evaluations(), cheap);
+}
+
+}  // namespace
+}  // namespace xlp::core

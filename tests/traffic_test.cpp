@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "traffic/app_models.hpp"
+#include "traffic/matrix.hpp"
+#include "traffic/patterns.hpp"
+#include "util/check.hpp"
+
+namespace xlp::traffic {
+namespace {
+
+TEST(Patterns, NamesRoundTrip) {
+  for (Pattern p :
+       {Pattern::kUniformRandom, Pattern::kTranspose, Pattern::kBitReverse,
+        Pattern::kBitComplement, Pattern::kShuffle, Pattern::kTornado,
+        Pattern::kNeighbor, Pattern::kHotspot}) {
+    const auto round = pattern_from_string(to_string(p));
+    ASSERT_TRUE(round.has_value());
+    EXPECT_EQ(*round, p);
+  }
+  EXPECT_FALSE(pattern_from_string("nonsense").has_value());
+}
+
+TEST(Patterns, TransposeSwapsCoordinates) {
+  Rng rng(1);
+  // (x,y)=(3,1) on 8x8 is node 11; transpose target (1,3) is node 25.
+  EXPECT_EQ(pattern_destination(Pattern::kTranspose, 11, 8, rng), 25);
+  // Diagonal nodes map to themselves -> no traffic.
+  EXPECT_FALSE(
+      pattern_destination(Pattern::kTranspose, 9, 8, rng).has_value());
+}
+
+TEST(Patterns, BitComplementInvertsBits) {
+  Rng rng(1);
+  EXPECT_EQ(pattern_destination(Pattern::kBitComplement, 0, 8, rng), 63);
+  EXPECT_EQ(pattern_destination(Pattern::kBitComplement, 21, 8, rng),
+            63 - 21);
+}
+
+TEST(Patterns, BitReverseReversesIdBits) {
+  Rng rng(1);
+  // 64 nodes -> 6 bits; 0b000001 -> 0b100000 = 32.
+  EXPECT_EQ(pattern_destination(Pattern::kBitReverse, 1, 8, rng), 32);
+  EXPECT_EQ(pattern_destination(Pattern::kBitReverse, 32, 8, rng), 1);
+  // Palindromic ids self-map.
+  EXPECT_FALSE(
+      pattern_destination(Pattern::kBitReverse, 0b100001, 8, rng).has_value());
+}
+
+TEST(Patterns, ShuffleRotatesLeft) {
+  Rng rng(1);
+  EXPECT_EQ(pattern_destination(Pattern::kShuffle, 1, 8, rng), 2);
+  EXPECT_EQ(pattern_destination(Pattern::kShuffle, 32, 8, rng), 1);
+  EXPECT_FALSE(pattern_destination(Pattern::kShuffle, 63, 8, rng).has_value());
+}
+
+TEST(Patterns, TornadoShiftsBothDimensions) {
+  Rng rng(1);
+  // n=8: shift 3; (0,0) -> (3,3) = 27.
+  EXPECT_EQ(pattern_destination(Pattern::kTornado, 0, 8, rng), 27);
+}
+
+TEST(Patterns, NeighborSendsRight) {
+  Rng rng(1);
+  EXPECT_EQ(pattern_destination(Pattern::kNeighbor, 0, 8, rng), 1);
+  EXPECT_EQ(pattern_destination(Pattern::kNeighbor, 7, 8, rng), 0);  // wraps
+}
+
+TEST(Patterns, UniformRandomNeverSelfAndCoversNodes) {
+  Rng rng(9);
+  std::map<int, int> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto d = pattern_destination(Pattern::kUniformRandom, 5, 4, rng);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_NE(*d, 5);
+    ++seen[*d];
+  }
+  EXPECT_EQ(seen.size(), 15u);  // all nodes except the source
+}
+
+TEST(Patterns, BitPatternsRequirePowerOfTwoNodes) {
+  Rng rng(1);
+  EXPECT_THROW(pattern_destination(Pattern::kBitReverse, 0, 6, rng),
+               PreconditionError);
+  EXPECT_THROW(pattern_destination(Pattern::kBitComplement, 0, 6, rng),
+               PreconditionError);
+  // Position-based patterns are fine on any size.
+  EXPECT_NO_THROW(pattern_destination(Pattern::kTranspose, 0, 6, rng));
+}
+
+// --------------------------------------------------------------------------
+
+TEST(TrafficMatrix, BasicAccounting) {
+  TrafficMatrix m(4);
+  EXPECT_EQ(m.node_count(), 16);
+  EXPECT_DOUBLE_EQ(m.total_rate(), 0.0);
+  m.set_rate(0, 5, 0.25);
+  m.add_rate(0, 5, 0.25);
+  m.set_rate(1, 0, 0.1);
+  EXPECT_DOUBLE_EQ(m.rate(0, 5), 0.5);
+  EXPECT_DOUBLE_EQ(m.total_rate(), 0.6);
+  EXPECT_DOUBLE_EQ(m.node_rate(0), 0.5);
+  EXPECT_DOUBLE_EQ(m.node_rate(1), 0.1);
+}
+
+TEST(TrafficMatrix, RejectsSelfTrafficAndNegatives) {
+  TrafficMatrix m(4);
+  EXPECT_THROW(m.set_rate(3, 3, 0.1), PreconditionError);
+  EXPECT_NO_THROW(m.set_rate(3, 3, 0.0));
+  EXPECT_THROW(m.set_rate(0, 1, -0.1), PreconditionError);
+}
+
+TEST(TrafficMatrix, ScaleTotal) {
+  TrafficMatrix m(4);
+  m.set_rate(0, 1, 1.0);
+  m.set_rate(2, 3, 3.0);
+  m.scale_total(1.0);
+  EXPECT_DOUBLE_EQ(m.total_rate(), 1.0);
+  EXPECT_DOUBLE_EQ(m.rate(0, 1), 0.25);
+  TrafficMatrix empty(4);
+  EXPECT_THROW(empty.scale_total(1.0), PreconditionError);
+}
+
+TEST(TrafficMatrix, FromDeterministicPattern) {
+  const auto m = TrafficMatrix::from_pattern(Pattern::kTranspose, 8, 0.02);
+  EXPECT_DOUBLE_EQ(m.rate(11, 25), 0.02);
+  EXPECT_DOUBLE_EQ(m.rate(11, 12), 0.0);
+  // Diagonal sources inject nothing.
+  EXPECT_DOUBLE_EQ(m.node_rate(9), 0.0);
+}
+
+TEST(TrafficMatrix, FromUniformRandomPattern) {
+  const auto m = TrafficMatrix::from_pattern(Pattern::kUniformRandom, 4,
+                                             0.1);
+  for (int src = 0; src < 16; ++src) {
+    EXPECT_NEAR(m.node_rate(src), 0.1, 1e-12);
+    EXPECT_DOUBLE_EQ(m.rate(src, src), 0.0);
+  }
+}
+
+TEST(TrafficMatrix, FromHotspotPatternFavorsHubs) {
+  const auto m = TrafficMatrix::from_pattern(Pattern::kHotspot, 8, 0.1);
+  const int q = 2;
+  const int hub = q * 8 + q;
+  double hub_in = 0.0, ordinary_in = 0.0;
+  for (int src = 0; src < 64; ++src) {
+    hub_in += m.rate(src, hub);
+    ordinary_in += m.rate(src, 12);  // a non-hub node
+  }
+  EXPECT_GT(hub_in, 3.0 * ordinary_in);
+}
+
+TEST(TrafficMatrix, RowWeightsCaptureRowSegments) {
+  TrafficMatrix m(4);
+  // Flow (1,0) -> (3,2): row 0 segment from x=1 to x=3.
+  m.set_rate(1, 2 * 4 + 3, 0.5);
+  // Flow (2,0) -> (2,3): x equal -> no row segment.
+  m.set_rate(2, 3 * 4 + 2, 0.7);
+  const auto w0 = m.row_weights(0);
+  EXPECT_DOUBLE_EQ(w0[1 * 4 + 3], 0.5);
+  double total = 0.0;
+  for (double x : w0) total += x;
+  EXPECT_DOUBLE_EQ(total, 0.5);
+  // Row 1 has no sources.
+  const auto w1 = m.row_weights(1);
+  for (double x : w1) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(TrafficMatrix, ColWeightsCaptureColumnSegments) {
+  TrafficMatrix m(4);
+  // Flow (1,0) -> (3,2): column 3 segment from y=0 to y=2.
+  m.set_rate(1, 2 * 4 + 3, 0.5);
+  // Flow (0,2) -> (3,2): y equal -> no column segment.
+  m.set_rate(2 * 4 + 0, 2 * 4 + 3, 0.7);
+  const auto w3 = m.col_weights(3);
+  EXPECT_DOUBLE_EQ(w3[0 * 4 + 2], 0.5);
+  double total = 0.0;
+  for (double x : w3) total += x;
+  EXPECT_DOUBLE_EQ(total, 0.5);
+}
+
+TEST(TrafficMatrix, RowAndColumnWeightsConserveDemand) {
+  // Every flow with dx != 0 contributes its rate once to some row matrix;
+  // every flow with dy != 0 once to some column matrix.
+  const auto m = TrafficMatrix::from_pattern(Pattern::kUniformRandom, 8,
+                                             0.05);
+  double row_total = 0.0, col_total = 0.0;
+  for (int y = 0; y < 8; ++y)
+    for (double x : m.row_weights(y)) row_total += x;
+  for (int x = 0; x < 8; ++x)
+    for (double w : m.col_weights(x)) col_total += w;
+
+  double expect_row = 0.0, expect_col = 0.0;
+  for (int s = 0; s < 64; ++s)
+    for (int d = 0; d < 64; ++d) {
+      if (s % 8 != d % 8) expect_row += m.rate(s, d);
+      if (s / 8 != d / 8) expect_col += m.rate(s, d);
+    }
+  EXPECT_NEAR(row_total, expect_row, 1e-9);
+  EXPECT_NEAR(col_total, expect_col, 1e-9);
+}
+
+// --------------------------------------------------------------------------
+
+TEST(AppModels, TenParsecBenchmarks) {
+  const auto& models = parsec_models();
+  ASSERT_EQ(models.size(), 10u);
+  EXPECT_EQ(models.front().name, "blackscholes");
+  EXPECT_EQ(models.back().name, "x264");
+}
+
+TEST(AppModels, LookupByName) {
+  EXPECT_EQ(parsec_model("canneal").name, "canneal");
+  EXPECT_THROW(parsec_model("doom"), PreconditionError);
+}
+
+TEST(AppModels, MatricesAreDeterministic) {
+  const auto a = parsec_model("ferret").traffic_matrix(8);
+  const auto b = parsec_model("ferret").traffic_matrix(8);
+  for (int s = 0; s < 64; ++s)
+    for (int d = 0; d < 64; ++d)
+      EXPECT_DOUBLE_EQ(a.rate(s, d), b.rate(s, d));
+}
+
+TEST(AppModels, NodeRatesMatchInjectionRate) {
+  for (const AppModel& model : parsec_models()) {
+    const auto m = model.traffic_matrix(8);
+    for (int src = 0; src < 64; ++src) {
+      // Hub self-traffic is dropped, so node rate is at most the nominal
+      // injection rate and within hotspot_share of it.
+      EXPECT_LE(m.node_rate(src), model.injection_rate + 1e-12);
+      EXPECT_GE(m.node_rate(src),
+                model.injection_rate * (1.0 - model.hotspot_share) - 1e-12);
+    }
+  }
+}
+
+TEST(AppModels, LocalityConcentratesNearbyTraffic) {
+  AppModel local{"local_test", 0.02, 0.9, 0.0, 0, 1.0};
+  AppModel uniform{"uniform_test", 0.02, 0.0, 0.0, 0, 1.0};
+  const auto lm = local.traffic_matrix(8);
+  const auto um = uniform.traffic_matrix(8);
+  // From the center node, a neighbor should get much more traffic under the
+  // local model than under the uniform one.
+  const int center = 3 * 8 + 3;
+  const int neighbor = 3 * 8 + 4;
+  const int corner = 63;
+  EXPECT_GT(lm.rate(center, neighbor), 5.0 * um.rate(center, neighbor));
+  EXPECT_LT(lm.rate(center, corner), um.rate(center, corner));
+}
+
+TEST(AppModels, DifferentBenchmarksDiffer) {
+  const auto a = parsec_model("blackscholes").traffic_matrix(8);
+  const auto b = parsec_model("canneal").traffic_matrix(8);
+  EXPECT_NE(a.total_rate(), b.total_rate());
+}
+
+TEST(AppModels, RejectsBadShares) {
+  AppModel bad{"bad", 0.02, 0.8, 0.5, 2, 1.0};  // shares sum > 1
+  EXPECT_THROW(bad.traffic_matrix(4), PreconditionError);
+}
+
+TEST(AppModels, ParsecAverageIsTheMeanOfModels) {
+  const auto avg = parsec_average_matrix(4);
+  double expected_total = 0.0;
+  for (const AppModel& m : parsec_models())
+    expected_total += m.traffic_matrix(4).total_rate();
+  EXPECT_NEAR(avg.total_rate(), expected_total / 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace xlp::traffic

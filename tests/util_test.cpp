@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/numeric.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace xlp {
+namespace {
+
+TEST(Check, RequireThrowsPreconditionError) {
+  EXPECT_THROW(XLP_REQUIRE(false, "boom"), PreconditionError);
+  EXPECT_NO_THROW(XLP_REQUIRE(true, "fine"));
+}
+
+TEST(Check, CheckThrowsInvariantError) {
+  EXPECT_THROW(XLP_CHECK(false, "boom"), InvariantError);
+  EXPECT_NO_THROW(XLP_CHECK(true, "fine"));
+}
+
+TEST(Check, MessagesCarryExpressionAndLocation) {
+  try {
+    XLP_REQUIRE(1 == 2, "my context");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("my context"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformBelowStaysInRange) {
+  Rng rng(7);
+  for (int bound : {1, 2, 3, 10, 1000}) {
+    for (int i = 0; i < 1000; ++i) {
+      const auto v = rng.uniform_below(static_cast<std::uint64_t>(bound));
+      EXPECT_LT(v, static_cast<std::uint64_t>(bound));
+    }
+  }
+}
+
+TEST(Rng, UniformBelowCoversAllValues) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformBelowIsApproximatelyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform_below(kBuckets)];
+  for (int bucket = 0; bucket < kBuckets; ++bucket) {
+    // Expected 10000 per bucket; 4-sigma band is about +-380.
+    EXPECT_NEAR(counts[bucket], kDraws / kBuckets, 400);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng base(17);
+  Rng s0 = base.fork(0);
+  Rng s1 = base.fork(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (s0() == s1()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  EXPECT_LT(Rng::min(), Rng::max());
+}
+
+TEST(Numeric, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div(512, 256), 2);
+  EXPECT_EQ(ceil_div(128, 256), 1);
+}
+
+TEST(Numeric, IsPowerOfTwo) {
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(65));
+}
+
+TEST(Numeric, Mean) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.0);
+  EXPECT_THROW(mean({}), PreconditionError);
+}
+
+TEST(Numeric, PercentChange) {
+  EXPECT_DOUBLE_EQ(percent_change(75.0, 100.0), -25.0);
+  EXPECT_DOUBLE_EQ(percent_change(110.0, 100.0), 10.0);
+  EXPECT_THROW(percent_change(1.0, 0.0), PreconditionError);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(i);
+  EXPECT_GT(sw.seconds(), 0.0);
+  EXPECT_GE(sw.milliseconds(), sw.seconds() * 1000.0 * 0.99);
+}
+
+TEST(Table, PrintsAlignedRows) {
+  Table t({"a", "long_header"});
+  t.add_row({"x", "1"});
+  t.add_row({"yy", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+  EXPECT_NE(out.find("yy"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), PreconditionError);
+  EXPECT_THROW(Table({}), PreconditionError);
+}
+
+TEST(Table, FormatsDoubles) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(2.0, 1), "2.0");
+}
+
+}  // namespace
+}  // namespace xlp

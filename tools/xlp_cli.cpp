@@ -1,0 +1,281 @@
+// xlp — command-line front end to the express-link placement toolkit.
+//
+//   xlp solve     --n 8 --c 4 [--method dcsa|onlysa|dnc|exact]
+//                 [--moves 10000] [--seed 1]
+//   xlp sweep     --n 8 [--moves 10000] [--seed 1] [--base-flit 256]
+//   xlp simulate  --links 1-3,3-7 --c 4 [--n 8] [--pattern uniform_random]
+//                 [--load 0.02] [--cycles 10000] [--routing xy|yx|o1turn]
+//                 [--vec] [--vcs 4] [--seed 1]
+//   xlp trace     --out trace.txt [--n 8] [--pattern transpose]
+//                 [--load 0.02] [--cycles 10000] [--seed 1]
+//   xlp replay    --trace trace.txt --links 1-3,3-7 --c 4
+//   xlp appspec   --workload canneal [--n 8] [--moves 2000] [--seed 1]
+//
+// Every subcommand prints a short human-readable report; exit code 0 on
+// success, 1 on usage errors.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/app_specific.hpp"
+#include "core/branch_bound.hpp"
+#include "core/c_sweep.hpp"
+#include "core/drivers.hpp"
+#include "core/portfolio.hpp"
+#include "exp/scenarios.hpp"
+#include "latency/model.hpp"
+#include "power/model.hpp"
+#include "sim/simulator.hpp"
+#include "topo/builders.hpp"
+#include "topo/render.hpp"
+#include "traffic/patterns.hpp"
+#include "traffic/trace.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace xlp;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: xlp <solve|sweep|simulate|trace|replay|appspec> "
+               "[options]\n(see the header of tools/xlp_cli.cpp for the "
+               "full option list)\n");
+  return 1;
+}
+
+std::vector<topo::RowLink> parse_links(const std::string& spec) {
+  std::vector<topo::RowLink> links;
+  if (spec.empty() || spec == "none") return links;
+  std::stringstream stream(spec);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    const auto dash = item.find('-');
+    XLP_REQUIRE(dash != std::string::npos,
+                "--links entries look like lo-hi, comma separated");
+    links.push_back({std::stoi(item.substr(0, dash)),
+                     std::stoi(item.substr(dash + 1))});
+  }
+  return links;
+}
+
+traffic::TrafficMatrix resolve_workload(const std::string& name, int n,
+                                        double load) {
+  if (const auto pattern = traffic::pattern_from_string(name))
+    return traffic::TrafficMatrix::from_pattern(*pattern, n, load);
+  traffic::TrafficMatrix demand =
+      traffic::parsec_model(name).traffic_matrix(n);
+  return demand;
+}
+
+int cmd_solve(const Args& args) {
+  const int n = static_cast<int>(args.get_long("n", 8));
+  const int c = static_cast<int>(args.get_long("c", 4));
+  const std::string method = args.get_or("method", "dcsa");
+  const long moves = args.get_long("moves", 10000);
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  const int chains = static_cast<int>(args.get_long("chains", 1));
+
+  const core::RowObjective objective(n, route::HopWeights{});
+  const core::SaParams params = core::SaParams{}.with_moves(moves);
+  Rng rng(seed);
+
+  core::PlacementResult result;
+  if (chains > 1 && (method == "dcsa" || method == "onlysa")) {
+    core::PortfolioOptions options;
+    options.chains = chains;
+    options.sa = params;
+    options.solver = method == "dcsa" ? core::Solver::kDcsa
+                                      : core::Solver::kOnlySa;
+    auto portfolio = core::solve_portfolio(n, route::HopWeights{},
+                                           std::nullopt, c, options, seed);
+    std::printf("portfolio of %d chains finished in %.3f s (%ld evals)\n",
+                chains, portfolio.seconds, portfolio.total_evaluations);
+    result = std::move(portfolio.best);
+  } else if (method == "dcsa") {
+    result = core::solve_dcsa(objective, c, params, rng);
+  } else if (method == "onlysa") {
+    result = core::solve_only_sa(objective, c, params, rng);
+  } else if (method == "dnc") {
+    result = core::solve_dnc_only(objective, c);
+  } else if (method == "exact") {
+    core::BranchAndBound bb(objective, c);
+    const auto exact = bb.solve();
+    result = {exact.placement, exact.value, objective.evaluations(), 0.0,
+              "exact"};
+  } else {
+    std::fprintf(stderr, "unknown --method %s\n", method.c_str());
+    return 1;
+  }
+
+  std::printf("P̄(%d,%d) via %s\n", n, c, result.method.c_str());
+  std::printf("  placement: %s\n", result.placement.to_string().c_str());
+  std::printf("%s", topo::render_row(result.placement).c_str());
+  std::printf("  objective: %.4f cycles (plain row: %.4f)\n", result.value,
+              objective.evaluate(topo::RowTopology(n)));
+  std::printf("  cost:      %ld evaluations, %.3f s\n", result.evaluations,
+              result.seconds);
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const int n = static_cast<int>(args.get_long("n", 8));
+  const int height = static_cast<int>(args.get_long("height", n));
+  core::SweepOptions options;
+  options.sa = core::SaParams{}.with_moves(args.get_long("moves", 10000));
+  options.base_flit_bits =
+      static_cast<int>(args.get_long("base-flit", topo::kBaseFlitBits));
+  options.latency = latency::LatencyParams::zero_load();
+  Rng rng(static_cast<std::uint64_t>(args.get_long("seed", 1)));
+  const auto points =
+      height == n ? core::sweep_link_limits(n, options, rng)
+                  : core::sweep_link_limits_rect(n, height, options, rng);
+
+  Table table({"C", "flit", "total", "head", "serialization", "placement"});
+  for (const auto& p : points)
+    table.add_row({std::to_string(p.link_limit),
+                   std::to_string(p.design.flit_bits()),
+                   Table::fmt(p.breakdown.total()),
+                   Table::fmt(p.breakdown.head),
+                   Table::fmt(p.breakdown.serialization),
+                   p.placement.placement.to_string()});
+  table.print(std::cout);
+  const auto& best = points[core::best_point(points)];
+  std::printf("best: C=%d at %.2f cycles\n", best.link_limit,
+              best.breakdown.total());
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  const int n = static_cast<int>(args.get_long("n", 8));
+  const int c = static_cast<int>(args.get_long("c", 4));
+  const topo::RowTopology row(n, parse_links(args.get_or("links", "")));
+  const topo::ExpressMesh design = topo::make_design(row, c);
+
+  const std::string pattern = args.get_or("pattern", "uniform_random");
+  const double load = args.get_double("load", 0.02);
+  const auto demand = resolve_workload(pattern, n, load);
+
+  sim::SimConfig config;
+  config.measure_cycles = args.get_long("cycles", 10000);
+  config.vcs_per_port = static_cast<int>(args.get_long("vcs", 4));
+  config.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  config.virtual_express_bypass = args.has("vec");
+  const std::string routing = args.get_or("routing", "xy");
+  if (routing == "yx") config.routing = sim::RoutingMode::kYX;
+  else if (routing == "o1turn") config.routing = sim::RoutingMode::kO1Turn;
+  else XLP_REQUIRE(routing == "xy", "--routing must be xy, yx or o1turn");
+
+  const auto stats = exp::simulate_design(design, demand, config);
+  std::printf("design %s C=%d (%d-bit flits), %s @ %.3f pkt/node/cycle, "
+              "routing %s%s\n",
+              row.to_string().c_str(), c, design.flit_bits(),
+              pattern.c_str(), load, routing.c_str(),
+              config.virtual_express_bypass ? " +VEC" : "");
+  std::printf("  latency: avg %.2f  p50 %.0f  p95 %.0f  p99 %.0f  max %.0f "
+              "cycles\n",
+              stats.avg_latency, stats.p50_latency, stats.p95_latency,
+              stats.p99_latency, stats.max_latency);
+  std::printf("  throughput %.4f pkt/node/cycle, contention %.2f "
+              "cycles/hop, hops %.2f, drained %s\n",
+              stats.throughput_packets_per_node_cycle,
+              stats.avg_contention_per_hop, stats.avg_hops,
+              stats.drained ? "yes" : "NO");
+  const auto power = power::evaluate_power(design, stats.activity,
+                                           config.buffer_bits_per_router);
+  std::printf("  power %.3f W (%.3f dynamic, %.3f static)\n", power.total(),
+              power.dynamic_total(), power.static_total());
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  const int n = static_cast<int>(args.get_long("n", 8));
+  const std::string out_path = args.get_or("out", "");
+  XLP_REQUIRE(!out_path.empty(), "--out <file> is required");
+  const auto demand = resolve_workload(args.get_or("pattern", "transpose"),
+                                       n, args.get_double("load", 0.02));
+  Rng rng(static_cast<std::uint64_t>(args.get_long("seed", 1)));
+  const auto trace = traffic::Trace::sample(
+      demand, latency::PacketMix::paper_default(),
+      args.get_long("cycles", 10000), rng);
+  std::ofstream out(out_path);
+  XLP_REQUIRE(out.good(), "cannot open " + out_path);
+  trace.save(out);
+  std::printf("wrote %zu packets over %ld cycles to %s\n",
+              trace.packets().size(), trace.duration(), out_path.c_str());
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  const std::string path = args.get_or("trace", "");
+  XLP_REQUIRE(!path.empty(), "--trace <file> is required");
+  std::ifstream in(path);
+  XLP_REQUIRE(in.good(), "cannot open " + path);
+  const auto trace = traffic::Trace::load(in);
+
+  const int c = static_cast<int>(args.get_long("c", 4));
+  const topo::RowTopology row(trace.side(),
+                              parse_links(args.get_or("links", "")));
+  const topo::ExpressMesh design = topo::make_design(row, c);
+  const auto stats = exp::replay_trace(design, trace, sim::SimConfig{});
+  std::printf("replayed %ld packets on %s (C=%d): avg %.2f cycles, p99 "
+              "%.0f, drained %s\n",
+              stats.packets_finished, row.to_string().c_str(), c,
+              stats.avg_latency, stats.p99_latency,
+              stats.drained ? "yes" : "NO");
+  return 0;
+}
+
+int cmd_appspec(const Args& args) {
+  const int n = static_cast<int>(args.get_long("n", 8));
+  const auto demand = resolve_workload(args.get_or("workload", "canneal"),
+                                       n, args.get_double("load", 0.02));
+  core::SweepOptions options;
+  options.sa = core::SaParams{}.with_moves(args.get_long("moves", 2000));
+  options.latency = latency::LatencyParams::zero_load();
+  options.report_traffic = demand;
+  Rng rng(static_cast<std::uint64_t>(args.get_long("seed", 1)));
+  const auto result = core::solve_app_specific(demand, options, rng);
+  std::printf("app-specific design: C=%d, weighted latency %.2f cycles\n",
+              result.link_limit, result.breakdown.total());
+  for (int y = 0; y < n; ++y)
+    std::printf("  row %2d: %s\n", y,
+                result.design.row(y).to_string().c_str());
+  for (int x = 0; x < n; ++x)
+    std::printf("  col %2d: %s\n", x,
+                result.design.col(x).to_string().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args(argc - 1, argv + 1);
+
+  try {
+    int rc = 1;
+    if (command == "solve") rc = cmd_solve(args);
+    else if (command == "sweep") rc = cmd_sweep(args);
+    else if (command == "simulate") rc = cmd_simulate(args);
+    else if (command == "trace") rc = cmd_trace(args);
+    else if (command == "replay") rc = cmd_replay(args);
+    else if (command == "appspec") rc = cmd_appspec(args);
+    else return usage();
+
+    const auto unknown = args.unknown_keys();
+    if (!unknown.empty()) {
+      for (const auto& key : unknown)
+        std::fprintf(stderr, "warning: unused option --%s\n", key.c_str());
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
