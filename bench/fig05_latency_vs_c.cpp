@@ -5,10 +5,12 @@
 // headline reductions (23.5%/8.0% on 8x8, 36.4%/20.1% on 16x16).
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "core/c_sweep.hpp"
 #include "exp/scenarios.hpp"
+#include "obs/json.hpp"
 #include "util/csv.hpp"
 #include "util/numeric.hpp"
 #include "util/table.hpp"
@@ -43,6 +45,7 @@ void run_size(int n) {
   Table table({"C", "D&C_SA", "OnlySA", "L_D(D&C_SA)", "L_S"});
   CsvWriter csv({"n", "C", "dcsa_total", "onlysa_total", "dcsa_head",
                  "serialization", "mesh_total", "hfb_total"});
+  obs::Json points = obs::Json::array();
   for (std::size_t i = 0; i < dcsa.size(); ++i) {
     table.add_row({std::to_string(dcsa[i].link_limit),
                    Table::fmt(dcsa[i].breakdown.total()),
@@ -55,6 +58,14 @@ void run_size(int n) {
                  Table::fmt(dcsa[i].breakdown.head, 4),
                  Table::fmt(dcsa[i].breakdown.serialization, 4),
                  Table::fmt(mesh_total, 4), Table::fmt(hfb_total, 4)});
+    points.push(obs::Json::object()
+                    .set("c", dcsa[i].link_limit)
+                    .set("dcsa_total", dcsa[i].breakdown.total())
+                    .set("onlysa_total", only[i].breakdown.total())
+                    .set("dcsa_head", dcsa[i].breakdown.head)
+                    .set("serialization", dcsa[i].breakdown.serialization)
+                    .set("placement",
+                         dcsa[i].placement.placement.to_string()));
   }
   table.print(std::cout);
   if (const std::string dir = csv_output_dir(); !dir.empty()) {
@@ -63,6 +74,21 @@ void run_size(int n) {
         ".csv";
     std::printf("  csv: %s %s\n", path.c_str(),
                 csv.write_file(path) ? "written" : "NOT WRITTEN");
+    // Machine-readable series (one document per size) so successive runs
+    // can be diffed into a bench trajectory.
+    const obs::Json doc = obs::Json::object()
+                              .set("figure", "fig05")
+                              .set("n", n)
+                              .set("mesh_total", mesh_total)
+                              .set("hfb_total", hfb_total)
+                              .set("points", std::move(points));
+    const std::string json_path =
+        dir + "/fig05_" + std::to_string(n) + "x" + std::to_string(n) +
+        ".json";
+    std::ofstream out(json_path);
+    const bool ok = out.good() && (out << doc.dump() << '\n').good();
+    std::printf("  json: %s %s\n", json_path.c_str(),
+                ok ? "written" : "NOT WRITTEN");
   }
   std::printf("  fixed points: Mesh = %.2f cycles (C=1), HFB = %.2f cycles "
               "(C=%d)\n",

@@ -33,6 +33,9 @@ int main() {
     const auto mesh = exp::simulate_design(fixed[0].design, demand, config);
     const auto hfb = exp::simulate_design(fixed[1].design, demand, config);
     const auto dcsa = exp::simulate_design(best.design, demand, config);
+    exp::warn_if_undrained(mesh, "fig06 mesh/" + model.name);
+    exp::warn_if_undrained(hfb, "fig06 hfb/" + model.name);
+    exp::warn_if_undrained(dcsa, "fig06 dcsa/" + model.name);
     mesh_sum += mesh.avg_latency;
     hfb_sum += hfb.avg_latency;
     dcsa_sum += dcsa.avg_latency;

@@ -6,13 +6,16 @@
 // to I(8,4) and I(16,4).
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "core/c_sweep.hpp"
 #include "core/drivers.hpp"
 #include "exp/scenarios.hpp"
 #include "latency/model.hpp"
+#include "obs/json.hpp"
 #include "topo/builders.hpp"
+#include "util/csv.hpp"
 #include "util/table.hpp"
 
 using namespace xlp;
@@ -40,6 +43,7 @@ void run_size(int n) {
               n, n, n, kLimit, dnc.evaluations);
 
   Table table({"runtime", "D&C_SA", "OnlySA"});
+  obs::Json points = obs::Json::array();
   const double scale = exp::bench_scale();
   for (const double budget_units :
        {1.0, 2.0, 5.0, 10.0, 30.0, 100.0, 300.0, 1000.0}) {
@@ -70,8 +74,29 @@ void run_size(int n) {
     }
     table.add_row({Table::fmt(budget_units, 0), Table::fmt(dcsa_sum / kSeeds),
                    Table::fmt(only_sum / kSeeds)});
+    points.push(obs::Json::object()
+                    .set("runtime_units", budget_units)
+                    .set("budget_evals", budget_evals)
+                    .set("dcsa_latency", dcsa_sum / kSeeds)
+                    .set("onlysa_latency", only_sum / kSeeds));
   }
   table.print(std::cout);
+  if (const std::string dir = csv_output_dir(); !dir.empty()) {
+    // Machine-readable series so future PRs can track the runtime/quality
+    // frontier across revisions.
+    const obs::Json doc = obs::Json::object()
+                              .set("figure", "fig07")
+                              .set("n", n)
+                              .set("unit_evals", static_cast<long>(unit))
+                              .set("points", std::move(points));
+    const std::string path =
+        dir + "/fig07_" + std::to_string(n) + "x" + std::to_string(n) +
+        ".json";
+    std::ofstream out(path);
+    const bool ok = out.good() && (out << doc.dump() << '\n').good();
+    std::printf("  json: %s %s\n", path.c_str(),
+                ok ? "written" : "NOT WRITTEN");
+  }
 }
 
 }  // namespace

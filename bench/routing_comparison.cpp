@@ -39,6 +39,8 @@ int main() {
 
     const auto xy = exp::simulate_design(mesh, demand, xy_cfg);
     const auto o1 = exp::simulate_design(mesh, demand, o1_cfg);
+    exp::warn_if_undrained(xy, "routing_comparison xy/" + model.name);
+    exp::warn_if_undrained(o1, "routing_comparison o1turn/" + model.name);
     const double diff = percent_change(o1.avg_latency, xy.avg_latency);
     diff_sum += std::abs(diff);
     worst_contention = std::max(worst_contention, xy.avg_contention_per_hop);

@@ -45,6 +45,14 @@ int main() {
     const auto vec_stats = exp::simulate_design(mesh, demand, vec);
     const auto hfb_stats = exp::simulate_design(hfb, demand, plain);
     const auto dcsa_stats = exp::simulate_design(best.design, demand, plain);
+    exp::warn_if_undrained(mesh_stats, "virtual_vs_physical mesh/" +
+                                           model.name);
+    exp::warn_if_undrained(vec_stats, "virtual_vs_physical vec/" +
+                                          model.name);
+    exp::warn_if_undrained(hfb_stats, "virtual_vs_physical hfb/" +
+                                          model.name);
+    exp::warn_if_undrained(dcsa_stats, "virtual_vs_physical dcsa/" +
+                                           model.name);
 
     power_vec += power::evaluate_power(mesh, vec_stats.activity,
                                        plain.buffer_bits_per_router)

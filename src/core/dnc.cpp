@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "core/branch_bound.hpp"
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace xlp::core {
@@ -65,6 +66,9 @@ topo::RowTopology solve_recursive(const RowObjective& objective,
 DncResult dnc_initial_solution(const RowObjective& objective, int link_limit,
                                const DncOptions& options) {
   XLP_REQUIRE(link_limit >= 1, "link limit must be at least 1");
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.add("core.dnc.runs");
+  const obs::ScopedTimer timer(metrics, "core.dnc.seconds");
   topo::RowTopology placement =
       solve_recursive(objective, link_limit, options);
   XLP_CHECK(placement.fits_link_limit(link_limit),

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
@@ -21,6 +22,9 @@ PortfolioResult solve_portfolio(
 
   for (int chain = 0; chain < options.chains; ++chain) {
     workers.emplace_back([&, chain] {
+      // Per-chain wall time lands in the shared (thread-safe) registry.
+      const obs::ScopedTimer chain_timer(obs::MetricsRegistry::global(),
+                                         "core.portfolio.chain_seconds");
       // Per-chain objective (evaluation counters are not shareable across
       // threads) and a decorrelated per-chain stream.
       const RowObjective objective =
@@ -58,6 +62,11 @@ PortfolioResult solve_portfolio(
   }
   portfolio.best = std::move(results[best]);
   portfolio.best.method += "-portfolio";
+
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.add("core.portfolio.runs");
+  metrics.add("core.portfolio.chains", options.chains);
+  metrics.record_time("core.portfolio.seconds", portfolio.seconds);
   return portfolio;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace xlp::core {
@@ -16,16 +17,23 @@ SaResult anneal_connection_matrix(const topo::ConnectionMatrix& initial,
   XLP_REQUIRE(params.cool_scale > 1.0, "cooling must reduce temperature");
   XLP_REQUIRE(params.moves_per_cool >= 1, "cooling period must be positive");
 
+  const obs::ScopedTimer run_timer(obs::MetricsRegistry::global(),
+                                   "core.sa.seconds");
+
   topo::ConnectionMatrix current = initial;
   double current_value = objective.evaluate(current.decode());
 
   SaResult result{current.decode(), current_value, current, 0, 0, 0};
+  result.final_temperature = params.initial_temperature;
 
   // A degenerate matrix (C == 1 or n <= 2) has no flippable bits: the plain
   // row is the only state.
   if (initial.bit_count() == 0) return result;
 
   double temperature = params.initial_temperature;
+  int cooling_step = 0;
+  long window_start_move = 0;
+  long window_start_accepted = 0;
   for (long move = 0; move < params.total_moves; ++move) {
     const int bit = static_cast<int>(
         rng.uniform_below(static_cast<std::uint64_t>(current.bit_count())));
@@ -50,11 +58,36 @@ SaResult anneal_connection_matrix(const topo::ConnectionMatrix& initial,
     }
 
     ++result.moves;
-    if ((move + 1) % params.moves_per_cool == 0)
+    if ((move + 1) % params.moves_per_cool == 0) {
+      if (params.observer) {
+        SaCoolingStep snapshot;
+        snapshot.step = cooling_step;
+        snapshot.moves_done = move + 1;
+        snapshot.temperature = temperature;
+        snapshot.current_value = current_value;
+        snapshot.best_value = result.best_value;
+        snapshot.window_moves = (move + 1) - window_start_move;
+        snapshot.window_accepted = result.accepted - window_start_accepted;
+        params.observer(snapshot);
+      }
+      ++cooling_step;
+      window_start_move = move + 1;
+      window_start_accepted = result.accepted;
       temperature /= params.cool_scale;
+    }
   }
 
   result.best = result.best_matrix.decode();
+  result.acceptance_rate =
+      result.moves > 0
+          ? static_cast<double>(result.accepted) / result.moves
+          : 0.0;
+  result.final_temperature = temperature;
+
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.add("core.sa.runs");
+  metrics.add("core.sa.moves", result.moves);
+  metrics.add("core.sa.accepted", result.accepted);
   return result;
 }
 

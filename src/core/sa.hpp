@@ -1,12 +1,35 @@
 #pragma once
 
 #include <algorithm>
+#include <functional>
 
 #include "core/objective.hpp"
 #include "topo/connection_matrix.hpp"
 #include "util/rng.hpp"
 
 namespace xlp::core {
+
+/// Snapshot handed to the optional SaParams::observer at the end of every
+/// cooling window (just before the temperature is divided): the telemetry
+/// behind a per-run cooling trajectory.
+struct SaCoolingStep {
+  int step = 0;                // 0-based cooling-step index
+  long moves_done = 0;         // moves completed so far, including this window
+  double temperature = 0.0;    // temperature the window ran at
+  double current_value = 0.0;  // objective of the current state
+  double best_value = 0.0;     // best objective seen so far
+  long window_moves = 0;       // moves in this cooling window
+  long window_accepted = 0;    // accepted moves in this window
+  [[nodiscard]] double window_acceptance_rate() const noexcept {
+    return window_moves > 0
+               ? static_cast<double>(window_accepted) / window_moves
+               : 0.0;
+  }
+};
+
+/// Per-cooling-step observer; called synchronously from the annealing
+/// loop, so it must be cheap (or buffer internally). Empty by default.
+using SaObserver = std::function<void(const SaCoolingStep&)>;
 
 /// Simulated-annealing schedule, Table 1 of the paper: exponential
 /// acceptance exp(-dL/T), linear cooling implemented as T <- T / cool_scale
@@ -16,6 +39,9 @@ struct SaParams {
   long total_moves = 10000;           // m
   double cool_scale = 2.0;            // Sc
   long moves_per_cool = 1000;         // mc
+
+  /// Invoked once per cooling step when set; see SaCoolingStep.
+  SaObserver observer;
 
   /// Scales the move budget while keeping the same cooling profile shape
   /// (used by the runtime-comparison experiment, Fig. 7).
@@ -38,6 +64,12 @@ struct SaResult {
   long moves = 0;
   long accepted = 0;
   long improved = 0;  // accepted moves with dL <= 0
+  /// accepted / moves over the whole run (0 when no moves were made), so
+  /// callers stop re-deriving it.
+  double acceptance_rate = 0.0;
+  /// Temperature after the last cooling step (== initial_temperature when
+  /// the schedule never cooled or the matrix was degenerate).
+  double final_temperature = 0.0;
 };
 
 /// The paper's annealer over the connection-matrix search space (Section

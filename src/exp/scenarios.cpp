@@ -1,6 +1,7 @@
 #include "exp/scenarios.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
@@ -104,6 +105,19 @@ CutUse vertical_cut_use(const sim::Network& network,
   use.capacity_bits_per_cycle =
       static_cast<double>(use.channels) * network.flit_bits();
   return use;
+}
+
+bool warn_if_undrained(const sim::SimStats& stats,
+                       const std::string& context) {
+  if (stats.drained) return true;
+  std::fprintf(stderr,
+               "WARNING: %s: %ld of %ld measured packets never drained — "
+               "the network is past saturation; reported latencies are "
+               "lower bounds, not steady-state values\n",
+               context.c_str(),
+               stats.packets_offered - stats.packets_finished,
+               stats.packets_offered);
+  return false;
 }
 
 sim::SimConfig default_sim_config(std::uint64_t seed) {

@@ -91,4 +91,11 @@ struct CutUse {
                                       const sim::SimStats& stats, int cut,
                                       bool rightward);
 
+/// Prints a stderr warning when the run did not drain (the network was
+/// past saturation, so its reported latencies are lower bounds rather than
+/// steady-state values). Returns stats.drained so call sites can branch on
+/// it. Every CLI/bench driver that reports simulated latency should route
+/// its stats through this instead of silently printing them.
+bool warn_if_undrained(const sim::SimStats& stats, const std::string& context);
+
 }  // namespace xlp::exp

@@ -1,0 +1,357 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace xlp::obs {
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Json& Json::set(std::string key, Json value) {
+  XLP_REQUIRE(type_ == Type::kObject, "set() needs a JSON object");
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  XLP_REQUIRE(type_ == Type::kArray, "push() needs a JSON array");
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+bool Json::as_bool() const {
+  XLP_REQUIRE(type_ == Type::kBool, "not a JSON boolean");
+  return bool_;
+}
+
+double Json::as_number() const {
+  XLP_REQUIRE(type_ == Type::kNumber, "not a JSON number");
+  return number_;
+}
+
+long Json::as_long() const {
+  XLP_REQUIRE(type_ == Type::kNumber, "not a JSON number");
+  return static_cast<long>(std::llround(number_));
+}
+
+const std::string& Json::as_string() const {
+  XLP_REQUIRE(type_ == Type::kString, "not a JSON string");
+  return string_;
+}
+
+std::size_t Json::size() const noexcept {
+  if (type_ == Type::kArray) return elements_.size();
+  if (type_ == Type::kObject) return members_.size();
+  return 0;
+}
+
+const Json& Json::at(std::size_t i) const {
+  XLP_REQUIRE(type_ == Type::kArray && i < elements_.size(),
+              "JSON array index out of range");
+  return elements_[i];
+}
+
+const Json* Json::find(const std::string& key) const {
+  for (const auto& [name, value] : members_)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+namespace {
+
+void format_number(double value, bool integral, std::string& out) {
+  char buf[32];
+  if (integral ||
+      (std::rint(value) == value && std::fabs(value) < 9.007199254740992e15 &&
+       std::isfinite(value))) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(std::llround(value)));
+    out += buf;
+    return;
+  }
+  if (!std::isfinite(value)) {  // JSON has no inf/nan; emit null
+    out += "null";
+    return;
+  }
+  // Shortest representation that round-trips: try 15 significant digits,
+  // fall back to 17.
+  std::snprintf(buf, sizeof(buf), "%.15g", value);
+  if (std::strtod(buf, nullptr) != value)
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: format_number(number_, integral_, out); break;
+    case Type::kString:
+      out += '"';
+      out += json_escape(string_);
+      out += '"';
+      break;
+    case Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Json& e : elements_) {
+        if (!first) out += ',';
+        first = false;
+        e.dump_to(out);
+      }
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : members_) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += json_escape(key);
+        out += "\":";
+        value.dump_to(out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string view; `pos` always points at the
+/// next unconsumed character.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<Json> parse_document() {
+    skip_ws();
+    auto value = parse_value();
+    if (!value) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  std::optional<Json> parse_value() {
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case 'n': return consume_literal("null") ? std::optional<Json>(Json())
+                                               : std::nullopt;
+      case 't': return consume_literal("true") ? std::optional<Json>(Json(true))
+                                               : std::nullopt;
+      case 'f': return consume_literal("false")
+                           ? std::optional<Json>(Json(false))
+                           : std::nullopt;
+      case '"': return parse_string();
+      case '[': return parse_array();
+      case '{': return parse_object();
+      default: return parse_number();
+    }
+  }
+
+  std::optional<Json> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Json(std::move(out));
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              return std::nullopt;
+          }
+          // BMP-only UTF-8 encoding (telemetry never needs more).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool digits = false;
+    bool fractional = false;
+    while (pos_ < text_.size() && std::isdigit(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+      digits = true;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      fractional = true;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      fractional = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_])))
+        ++pos_;
+    }
+    if (!digits) return std::nullopt;
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return std::nullopt;
+    return fractional ? Json(value) : make_integral(value);
+  }
+
+  static Json make_integral(double value) {
+    if (std::rint(value) == value && std::fabs(value) < 9.007199254740992e15)
+      return Json(static_cast<long>(value));
+    return Json(value);
+  }
+
+  std::optional<Json> parse_array() {
+    if (!consume('[')) return std::nullopt;
+    Json arr = Json::array();
+    skip_ws();
+    if (consume(']')) return arr;
+    while (true) {
+      skip_ws();
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      arr.push(std::move(*value));
+      skip_ws();
+      if (consume(']')) return arr;
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<Json> parse_object() {
+    if (!consume('{')) return std::nullopt;
+    Json obj = Json::object();
+    skip_ws();
+    if (consume('}')) return obj;
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) return std::nullopt;
+      skip_ws();
+      auto value = parse_value();
+      if (!value) return std::nullopt;
+      obj.set(key->as_string(), std::move(*value));
+      skip_ws();
+      if (consume('}')) return obj;
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace xlp::obs

@@ -1,0 +1,78 @@
+#include "obs/metrics.hpp"
+
+#include <fstream>
+
+namespace xlp::obs {
+
+void MetricsRegistry::add(const std::string& name, long delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::record_time(const std::string& name, double seconds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TimerStat& stat = timers_[name];
+  stat.seconds += seconds;
+  ++stat.count;
+}
+
+long MetricsRegistry::counter(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+TimerStat MetricsRegistry::timer(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = timers_.find(name);
+  return it == timers_.end() ? TimerStat{} : it->second;
+}
+
+void MetricsRegistry::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  timers_.clear();
+}
+
+Json MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Json counters = Json::object();
+  for (const auto& [name, value] : counters_) counters.set(name, value);
+  Json gauges = Json::object();
+  for (const auto& [name, value] : gauges_) gauges.set(name, value);
+  Json timers = Json::object();
+  for (const auto& [name, stat] : timers_)
+    timers.set(name, Json::object()
+                         .set("seconds", stat.seconds)
+                         .set("count", stat.count));
+  return Json::object()
+      .set("counters", std::move(counters))
+      .set("gauges", std::move(gauges))
+      .set("timers", std::move(timers));
+}
+
+bool MetricsRegistry::write_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  out << to_json().dump() << '\n';
+  return out.good();
+}
+
+MetricsRegistry& MetricsRegistry::global() noexcept {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace xlp::obs

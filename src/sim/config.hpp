@@ -2,6 +2,10 @@
 
 #include "latency/packet_mix.hpp"
 
+namespace xlp::obs {
+class TraceSink;
+}
+
 namespace xlp::sim {
 
 /// How packets are routed through the two dimensions.
@@ -61,6 +65,14 @@ struct SimConfig {
   std::uint64_t seed = 1;
 
   latency::PacketMix mix = latency::PacketMix::paper_default();
+
+  /// Optional structured trace sink (not owned; must outlive the run).
+  /// When set and enabled, the simulator emits periodic `sim.progress`
+  /// snapshots every trace_interval_cycles plus a final
+  /// `sim.channel_utilization` heatmap derived from the per-channel flit
+  /// counts. Null by default so instrumentation costs nothing.
+  obs::TraceSink* trace = nullptr;
+  long trace_interval_cycles = 1000;
 
   /// Derived per-VC depth for a router with `ports` ports at `flit_bits`.
   [[nodiscard]] int vc_depth_flits(int ports, int flit_bits) const {

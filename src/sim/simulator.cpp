@@ -5,6 +5,7 @@
 #include <limits>
 #include <tuple>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/numeric.hpp"
 
@@ -395,6 +396,7 @@ void Simulator::arbitrate(int router) {
         if (f.is_head) pk.head_ejected = cycle_ + 1;
         if (f.is_tail) {
           pk.ejected = cycle_ + 1;
+          ++ejected_total_;
           if (pk.measured) --outstanding_measured_;
         }
       } else {
@@ -427,12 +429,16 @@ SimStats Simulator::run() {
   const long measure_end = config_.warmup_cycles + config_.measure_cycles;
   const long hard_end = measure_end + config_.drain_cycles;
   const int nodes = net_.node_count();
+  const bool tracing = config_.trace != nullptr && config_.trace->enabled() &&
+                       config_.trace_interval_cycles > 0;
 
   std::sort(scheduled_.begin(), scheduled_.end());
   for (cycle_ = 0; cycle_ < hard_end; ++cycle_) {
     if (cycle_ >= measure_end && outstanding_measured_ == 0 &&
         next_scheduled_ >= scheduled_.size())
       break;
+    if (tracing && cycle_ > 0 && cycle_ % config_.trace_interval_cycles == 0)
+      emit_progress();
     deliver_channel_arrivals();
     deliver_credits();
     while (next_scheduled_ < scheduled_.size() &&
@@ -448,7 +454,66 @@ SimStats Simulator::run() {
     for (int r = 0; r < nodes; ++r) arbitrate(r);
   }
   activity_.measured_cycles = config_.measure_cycles;
-  return finalize();
+  SimStats stats = finalize();
+  if (config_.trace != nullptr && config_.trace->enabled()) {
+    emit_channel_heatmap(stats);
+    config_.trace->emit(
+        "sim.done",
+        obs::Json::object()
+            .set("cycles", cycle_)
+            .set("packets_offered", stats.packets_offered)
+            .set("packets_finished", stats.packets_finished)
+            .set("avg_latency", stats.avg_latency)
+            .set("drained", stats.drained));
+  }
+  return stats;
+}
+
+const char* Simulator::phase_name(long cycle) const noexcept {
+  if (cycle < config_.warmup_cycles) return "warmup";
+  if (cycle < config_.warmup_cycles + config_.measure_cycles)
+    return "measure";
+  return "drain";
+}
+
+void Simulator::emit_progress() {
+  const long in_flight = static_cast<long>(packets_.size()) - ejected_total_;
+  const long interval = config_.trace_interval_cycles;
+  const double ejection_rate =
+      static_cast<double>(ejected_total_ - last_snapshot_ejected_) /
+      static_cast<double>(interval);
+  last_snapshot_ejected_ = ejected_total_;
+  config_.trace->emit("sim.progress",
+                      obs::Json::object()
+                          .set("cycle", cycle_)
+                          .set("phase", phase_name(cycle_))
+                          .set("packets_created",
+                               static_cast<long>(packets_.size()))
+                          .set("packets_in_flight", in_flight)
+                          .set("outstanding_measured", outstanding_measured_)
+                          .set("ejection_rate", ejection_rate));
+}
+
+void Simulator::emit_channel_heatmap(const SimStats& stats) const {
+  obs::Json channels = obs::Json::array();
+  const double cycles =
+      std::max<double>(1.0, static_cast<double>(config_.measure_cycles));
+  for (std::size_t ch = 0; ch < stats.channel_flits.size(); ++ch) {
+    const auto& channel = net_.channels()[ch];
+    channels.push(
+        obs::Json::object()
+            .set("src", channel.src_router)
+            .set("dst", channel.dst_router)
+            .set("length", channel.length)
+            .set("flits", stats.channel_flits[ch])
+            .set("utilization",
+                 static_cast<double>(stats.channel_flits[ch]) / cycles));
+  }
+  config_.trace->emit("sim.channel_utilization",
+                      obs::Json::object()
+                          .set("measured_cycles", config_.measure_cycles)
+                          .set("flit_bits", net_.flit_bits())
+                          .set("channels", std::move(channels)));
 }
 
 SimStats Simulator::finalize() const {

@@ -91,6 +91,12 @@ class Simulator {
   }
   [[nodiscard]] int pick_packet_bits();
   [[nodiscard]] SimStats finalize() const;
+  /// Name of the run phase the given cycle falls into.
+  [[nodiscard]] const char* phase_name(long cycle) const noexcept;
+  /// Emits one `sim.progress` trace snapshot for the current cycle.
+  void emit_progress();
+  /// Emits the `sim.channel_utilization` heatmap for a finished run.
+  void emit_channel_heatmap(const SimStats& stats) const;
 
   const Network& net_;
   SimConfig config_;
@@ -112,6 +118,9 @@ class Simulator {
   std::deque<std::tuple<long, int, Flit>> ni_arrivals_;
   // Measured packets created but not yet fully ejected.
   long outstanding_measured_ = 0;
+  // Lifetime ejection counters, for the progress telemetry.
+  long ejected_total_ = 0;
+  long last_snapshot_ejected_ = 0;
   // Trace-driven injections: (create cycle, src, dst, bits), kept sorted.
   std::vector<std::tuple<long, int, int, int>> scheduled_;
   std::size_t next_scheduled_ = 0;

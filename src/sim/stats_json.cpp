@@ -1,0 +1,53 @@
+#include "sim/stats_json.hpp"
+
+#include <fstream>
+
+namespace xlp::sim {
+
+obs::Json stats_to_json(const SimStats& stats) {
+  obs::Json latency = obs::Json::object()
+                          .set("avg", stats.avg_latency)
+                          .set("avg_head", stats.avg_head_latency)
+                          .set("max", stats.max_latency)
+                          .set("stddev", stats.stddev_latency)
+                          .set("p50", stats.p50_latency)
+                          .set("p95", stats.p95_latency)
+                          .set("p99", stats.p99_latency)
+                          .set("ci95", stats.ci95_latency);
+
+  obs::Json activity =
+      obs::Json::object()
+          .set("buffer_writes", stats.activity.buffer_writes)
+          .set("buffer_reads", stats.activity.buffer_reads)
+          .set("crossbar_traversals", stats.activity.crossbar_traversals)
+          .set("link_flit_units", stats.activity.link_flit_units)
+          .set("measured_cycles", stats.activity.measured_cycles)
+          .set("flit_bits", stats.activity.flit_bits);
+
+  obs::Json channel_flits = obs::Json::array();
+  for (const long flits : stats.channel_flits) channel_flits.push(flits);
+
+  return obs::Json::object()
+      .set("packets_offered", stats.packets_offered)
+      .set("packets_finished", stats.packets_finished)
+      .set("packets_ejected_in_window", stats.packets_ejected_in_window)
+      .set("latency", std::move(latency))
+      .set("throughput_packets_per_node_cycle",
+           stats.throughput_packets_per_node_cycle)
+      .set("offered_packets_per_node_cycle",
+           stats.offered_packets_per_node_cycle)
+      .set("avg_hops", stats.avg_hops)
+      .set("avg_contention_per_hop", stats.avg_contention_per_hop)
+      .set("activity", std::move(activity))
+      .set("channel_flits", std::move(channel_flits))
+      .set("drained", stats.drained);
+}
+
+bool write_stats_json(const SimStats& stats, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  out << stats_to_json(stats).dump() << '\n';
+  return out.good();
+}
+
+}  // namespace xlp::sim

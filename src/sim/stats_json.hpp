@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "sim/stats.hpp"
+
+namespace xlp::sim {
+
+/// Full machine-readable serialization of a run's statistics: every scalar
+/// of SimStats (latency percentiles, CI95, throughput, contention),
+/// the ActivityCounters block, and the per-channel flit counts — the data
+/// behind Section 5.4's bandwidth-utilization analysis.
+[[nodiscard]] obs::Json stats_to_json(const SimStats& stats);
+
+/// Writes stats_to_json() to a file; returns false (without throwing) when
+/// the file cannot be opened.
+[[nodiscard]] bool write_stats_json(const SimStats& stats,
+                                    const std::string& path);
+
+}  // namespace xlp::sim

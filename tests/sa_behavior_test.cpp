@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/branch_bound.hpp"
 #include "core/dnc.hpp"
 #include "core/naive_sa.hpp"
@@ -67,6 +69,67 @@ TEST(SaBehavior, AcceptanceRateFallsAsTheScheduleCools) {
 
   EXPECT_GT(static_cast<double>(hot_result.accepted) / hot_result.moves,
             static_cast<double>(cold_result.accepted) / cold_result.moves);
+}
+
+TEST(SaBehavior, ObserverSeesEveryCoolingStep) {
+  const RowObjective obj(8, paper_weights());
+  SaParams params;
+  params.initial_temperature = 10.0;
+  params.total_moves = 2000;
+  params.moves_per_cool = 250;
+  params.cool_scale = 2.0;
+  std::vector<SaCoolingStep> steps;
+  params.observer = [&steps](const SaCoolingStep& s) { steps.push_back(s); };
+  Rng rng(7);
+  const SaResult result = anneal_connection_matrix(
+      topo::ConnectionMatrix(8, 4), obj, params, rng);
+
+  // One event per cooling step, in order.
+  ASSERT_EQ(steps.size(),
+            static_cast<std::size_t>(params.total_moves /
+                                     params.moves_per_cool));
+  long window_sum = 0;
+  long accepted_sum = 0;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    EXPECT_EQ(steps[i].step, static_cast<int>(i));
+    EXPECT_EQ(steps[i].window_moves, params.moves_per_cool);
+    EXPECT_EQ(steps[i].moves_done,
+              static_cast<long>(i + 1) * params.moves_per_cool);
+    EXPECT_LE(steps[i].best_value, steps[i].current_value + 1e-12);
+    window_sum += steps[i].window_moves;
+    accepted_sum += steps[i].window_accepted;
+    if (i > 0)
+      EXPECT_LT(steps[i].temperature, steps[i - 1].temperature)
+          << "temperature must be strictly decreasing";
+  }
+  EXPECT_EQ(window_sum, result.moves);
+  EXPECT_EQ(accepted_sum, result.accepted);
+  EXPECT_DOUBLE_EQ(steps.front().temperature, params.initial_temperature);
+}
+
+TEST(SaBehavior, ResultExposesAcceptanceRateAndFinalTemperature) {
+  const RowObjective obj(8, paper_weights());
+  SaParams params;
+  params.initial_temperature = 10.0;
+  params.total_moves = 2000;
+  params.moves_per_cool = 250;
+  params.cool_scale = 2.0;
+  Rng rng(8);
+  const SaResult result = anneal_connection_matrix(
+      topo::ConnectionMatrix(8, 4), obj, params, rng);
+  EXPECT_DOUBLE_EQ(result.acceptance_rate,
+                   static_cast<double>(result.accepted) / result.moves);
+  // Eight cooling steps: T0 / 2^8.
+  EXPECT_DOUBLE_EQ(result.final_temperature, 10.0 / 256.0);
+
+  // A degenerate matrix (no flippable bits) never cools.
+  Rng rng2(9);
+  const SaResult degenerate = anneal_connection_matrix(
+      topo::ConnectionMatrix(8, 1), obj, params, rng2);
+  EXPECT_EQ(degenerate.moves, 0);
+  EXPECT_DOUBLE_EQ(degenerate.acceptance_rate, 0.0);
+  EXPECT_DOUBLE_EQ(degenerate.final_temperature,
+                   params.initial_temperature);
 }
 
 TEST(SaBehavior, MovesEqualTheConfiguredBudget) {

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "util/check.hpp"
 #include "util/numeric.hpp"
@@ -170,6 +172,33 @@ TEST(Stopwatch, MeasuresElapsedTime) {
   for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(i);
   EXPECT_GT(sw.seconds(), 0.0);
   EXPECT_GE(sw.milliseconds(), sw.seconds() * 1000.0 * 0.99);
+}
+
+TEST(Stopwatch, ReadingsAreMonotonic) {
+  Stopwatch sw;
+  double prev = sw.seconds();
+  EXPECT_GE(prev, 0.0);
+  for (int i = 0; i < 1000; ++i) {
+    const double now = sw.seconds();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(Stopwatch, ElapsedCoversSleep) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Allow a small tolerance for coarse clocks; sleep_for never wakes early
+  // on a steady clock, but the stopwatch read has its own granularity.
+  EXPECT_GE(sw.seconds(), 0.019);
+}
+
+TEST(Stopwatch, ResetRestartsTheClock) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const double before = sw.seconds();
+  sw.reset();
+  EXPECT_LT(sw.seconds(), before);
 }
 
 TEST(Table, PrintsAlignedRows) {

@@ -1,0 +1,87 @@
+// trace_summary — offline reader for the JSONL traces the toolkit emits
+// (xlp --trace, SimConfig::trace). Groups events by phase (the `phase`
+// payload field when present, else the event name) and prints per-phase
+// wall-time totals and event counts, so a trace can be turned into a
+// "where did the time go" table without any Python tooling.
+//
+//   trace_summary <trace.jsonl>
+//
+// Exit code 0 on success, 1 on a missing/empty/malformed trace.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "obs/json.hpp"
+#include "util/table.hpp"
+
+using namespace xlp;
+
+namespace {
+
+struct PhaseStat {
+  long events = 0;
+  double first_ts = 0.0;
+  double last_ts = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: trace_summary <trace.jsonl>\n");
+    return 1;
+  }
+  std::ifstream in(argv[1]);
+  if (!in.good()) {
+    std::fprintf(stderr, "error: cannot open %s\n", argv[1]);
+    return 1;
+  }
+
+  std::map<std::string, PhaseStat> phases;  // ordered for stable output
+  long lines = 0;
+  double span_end = 0.0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    const auto record = obs::Json::parse(line);
+    if (!record || !record->is_object()) {
+      std::fprintf(stderr, "error: line %ld is not a JSON object\n", lines);
+      return 1;
+    }
+    const obs::Json* ts = record->find("ts");
+    const obs::Json* event = record->find("event");
+    if (ts == nullptr || !ts->is_number() || event == nullptr ||
+        !event->is_string()) {
+      std::fprintf(stderr, "error: line %ld lacks ts/event fields\n", lines);
+      return 1;
+    }
+    const obs::Json* phase = record->find("phase");
+    const std::string key = phase != nullptr && phase->is_string()
+                                ? phase->as_string()
+                                : event->as_string();
+    auto [it, inserted] = phases.try_emplace(key);
+    PhaseStat& stat = it->second;
+    if (inserted) stat.first_ts = ts->as_number();
+    stat.last_ts = ts->as_number();
+    ++stat.events;
+    if (ts->as_number() > span_end) span_end = ts->as_number();
+  }
+  if (lines == 0) {
+    std::fprintf(stderr, "error: %s holds no events\n", argv[1]);
+    return 1;
+  }
+
+  Table table({"phase", "events", "first_s", "last_s", "span_s"});
+  for (const auto& [name, stat] : phases)
+    table.add_row({name, std::to_string(stat.events),
+                   Table::fmt(stat.first_ts, 4), Table::fmt(stat.last_ts, 4),
+                   Table::fmt(stat.last_ts - stat.first_ts, 4)});
+  table.print(std::cout);
+  std::printf("%ld events across %zu phases over %.4f s\n", lines,
+              phases.size(), span_end);
+  return 0;
+}

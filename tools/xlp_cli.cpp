@@ -10,6 +10,16 @@
 //                 [--load 0.02] [--cycles 10000] [--seed 1]
 //   xlp replay    --trace trace.txt --links 1-3,3-7 --c 4
 //   xlp appspec   --workload canneal [--n 8] [--moves 2000] [--seed 1]
+//   xlp run       --n 8 --c 4 [--moves 10000] [--pattern uniform_random]
+//                 [--load 0.02] [--cycles 10000] [--seed 1]
+//
+// Telemetry (see docs/observability.md):
+//   --trace <file.jsonl>   structured JSONL trace (SA cooling steps on
+//                          solve/run, simulator progress + channel heatmap
+//                          on simulate/run); not available on `replay`,
+//                          whose --trace names the input packet trace
+//   --metrics <file.json>  dump the global metrics registry after the run
+//   --stats-json <file>    full SimStats serialization (simulate/replay/run)
 //
 // Every subcommand prints a short human-readable report; exit code 0 on
 // success, 1 on usage errors.
@@ -17,6 +27,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -27,8 +38,11 @@
 #include "core/portfolio.hpp"
 #include "exp/scenarios.hpp"
 #include "latency/model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "power/model.hpp"
 #include "sim/simulator.hpp"
+#include "sim/stats_json.hpp"
 #include "topo/builders.hpp"
 #include "topo/render.hpp"
 #include "traffic/patterns.hpp"
@@ -42,10 +56,65 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: xlp <solve|sweep|simulate|trace|replay|appspec> "
+               "usage: xlp <solve|sweep|simulate|trace|replay|appspec|run> "
                "[options]\n(see the header of tools/xlp_cli.cpp for the "
                "full option list)\n");
   return 1;
+}
+
+/// Owns the optional `--trace <file.jsonl>` output: the stream plus the
+/// JSONL sink writing to it. When the flag is absent every accessor
+/// degrades to the null sink, so instrumented paths cost nothing.
+class TraceOutput {
+ public:
+  explicit TraceOutput(const Args& args) : path_(args.get_or("trace", "")) {
+    if (path_.empty()) return;
+    stream_.open(path_);
+    XLP_REQUIRE(stream_.good(), "cannot open " + path_);
+    sink_ = std::make_unique<obs::JsonlTraceSink>(stream_);
+  }
+
+  [[nodiscard]] obs::TraceSink& sink() {
+    return sink_ ? static_cast<obs::TraceSink&>(*sink_)
+                 : obs::null_trace_sink();
+  }
+  /// For SimConfig::trace, which treats nullptr as "off".
+  [[nodiscard]] obs::TraceSink* sink_or_null() { return sink_.get(); }
+
+  void report() const {
+    if (sink_)
+      std::printf("  trace: %ld events -> %s\n", sink_->events_written(),
+                  path_.c_str());
+  }
+
+ private:
+  std::string path_;
+  std::ofstream stream_;
+  std::unique_ptr<obs::JsonlTraceSink> sink_;
+};
+
+/// Observer that forwards every SA cooling step to the trace sink as an
+/// `sa.cool` event; empty (and free) when tracing is off.
+core::SaObserver sa_trace_observer(obs::TraceSink& sink) {
+  if (!sink.enabled()) return {};
+  return [&sink](const core::SaCoolingStep& step) {
+    sink.emit("sa.cool",
+              obs::Json::object()
+                  .set("phase", "anneal")
+                  .set("step", step.step)
+                  .set("moves", step.moves_done)
+                  .set("temperature", step.temperature)
+                  .set("current", step.current_value)
+                  .set("best", step.best_value)
+                  .set("acceptance", step.window_acceptance_rate()));
+  };
+}
+
+void write_stats_if_requested(const Args& args, const sim::SimStats& stats) {
+  const std::string path = args.get_or("stats-json", "");
+  if (path.empty()) return;
+  std::printf("  stats-json: %s %s\n", path.c_str(),
+              sim::write_stats_json(stats, path) ? "written" : "NOT WRITTEN");
 }
 
 std::vector<topo::RowLink> parse_links(const std::string& spec) {
@@ -81,7 +150,9 @@ int cmd_solve(const Args& args) {
   const int chains = static_cast<int>(args.get_long("chains", 1));
 
   const core::RowObjective objective(n, route::HopWeights{});
-  const core::SaParams params = core::SaParams{}.with_moves(moves);
+  TraceOutput trace(args);
+  core::SaParams params = core::SaParams{}.with_moves(moves);
+  params.observer = sa_trace_observer(trace.sink());
   Rng rng(seed);
 
   core::PlacementResult result;
@@ -119,6 +190,7 @@ int cmd_solve(const Args& args) {
               objective.evaluate(topo::RowTopology(n)));
   std::printf("  cost:      %ld evaluations, %.3f s\n", result.evaluations,
               result.seconds);
+  trace.report();
   return 0;
 }
 
@@ -170,6 +242,8 @@ int cmd_simulate(const Args& args) {
   else if (routing == "o1turn") config.routing = sim::RoutingMode::kO1Turn;
   else XLP_REQUIRE(routing == "xy", "--routing must be xy, yx or o1turn");
 
+  TraceOutput trace(args);
+  config.trace = trace.sink_or_null();
   const auto stats = exp::simulate_design(design, demand, config);
   std::printf("design %s C=%d (%d-bit flits), %s @ %.3f pkt/node/cycle, "
               "routing %s%s\n",
@@ -189,6 +263,9 @@ int cmd_simulate(const Args& args) {
                                            config.buffer_bits_per_router);
   std::printf("  power %.3f W (%.3f dynamic, %.3f static)\n", power.total(),
               power.dynamic_total(), power.static_total());
+  exp::warn_if_undrained(stats, "xlp simulate");
+  write_stats_if_requested(args, stats);
+  trace.report();
   return 0;
 }
 
@@ -227,6 +304,51 @@ int cmd_replay(const Args& args) {
               stats.packets_finished, row.to_string().c_str(), c,
               stats.avg_latency, stats.p99_latency,
               stats.drained ? "yes" : "NO");
+  exp::warn_if_undrained(stats, "xlp replay");
+  write_stats_if_requested(args, stats);
+  return 0;
+}
+
+/// End-to-end instrumented flow: optimize a placement with D&C_SA (tracing
+/// every cooling step), then simulate the resulting design (tracing
+/// progress and the channel heatmap) — the one-command way to produce a
+/// full telemetry bundle for an n x n platform.
+int cmd_run(const Args& args) {
+  const int n = static_cast<int>(args.get_long("n", 8));
+  const int c = static_cast<int>(args.get_long("c", 4));
+  const long moves = args.get_long("moves", 10000);
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+
+  TraceOutput trace(args);
+
+  const core::RowObjective objective(n, route::HopWeights{});
+  core::SaParams params = core::SaParams{}.with_moves(moves);
+  params.observer = sa_trace_observer(trace.sink());
+  Rng rng(seed);
+  const auto result = core::solve_dcsa(objective, c, params, rng);
+  std::printf("P̄(%d,%d) via %s: %s at %.4f cycles (%ld evals, %.3f s)\n", n,
+              c, result.method.c_str(),
+              result.placement.to_string().c_str(), result.value,
+              result.evaluations, result.seconds);
+
+  const topo::ExpressMesh design = topo::make_design(result.placement, c);
+  const std::string pattern = args.get_or("pattern", "uniform_random");
+  const double load = args.get_double("load", 0.02);
+  const auto demand = resolve_workload(pattern, n, load);
+
+  sim::SimConfig config;
+  config.measure_cycles = args.get_long("cycles", 10000);
+  config.seed = seed;
+  config.trace = trace.sink_or_null();
+  const auto stats = exp::simulate_design(design, demand, config);
+  std::printf("simulated %s @ %.3f pkt/node/cycle: avg %.2f  p95 %.0f  p99 "
+              "%.0f cycles, ci95 ±%.2f, drained %s\n",
+              pattern.c_str(), load, stats.avg_latency, stats.p95_latency,
+              stats.p99_latency, stats.ci95_latency,
+              stats.drained ? "yes" : "NO");
+  exp::warn_if_undrained(stats, "xlp run");
+  write_stats_if_requested(args, stats);
+  trace.report();
   return 0;
 }
 
@@ -266,7 +388,18 @@ int main(int argc, char** argv) {
     else if (command == "trace") rc = cmd_trace(args);
     else if (command == "replay") rc = cmd_replay(args);
     else if (command == "appspec") rc = cmd_appspec(args);
+    else if (command == "run") rc = cmd_run(args);
     else return usage();
+
+    // Global telemetry flag: dump the process-wide metrics registry
+    // (optimizer timers/counters accumulated during the command).
+    if (const std::string metrics_path = args.get_or("metrics", "");
+        !metrics_path.empty()) {
+      std::printf("  metrics: %s %s\n", metrics_path.c_str(),
+                  obs::MetricsRegistry::global().write_json_file(metrics_path)
+                      ? "written"
+                      : "NOT WRITTEN");
+    }
 
     const auto unknown = args.unknown_keys();
     if (!unknown.empty()) {
