@@ -34,6 +34,16 @@ void RowObjective::set_worst_case_weight(double weight) {
   worst_weight_ = weight;
 }
 
+void RowObjective::set_secondary(
+    double weight, std::function<double(const topo::RowTopology&)> metric) {
+  XLP_REQUIRE(weight >= 0.0 && weight <= 1.0,
+              "secondary weight must be in [0, 1]");
+  XLP_REQUIRE(weight == 0.0 || metric,
+              "a positive secondary weight needs a metric");
+  secondary_weight_ = weight;
+  secondary_ = weight > 0.0 ? std::move(metric) : nullptr;
+}
+
 double RowObjective::evaluate(const topo::RowTopology& row) const {
   XLP_REQUIRE(row.size() == n_, "placement size does not match objective");
   ++*evals_;
@@ -41,8 +51,13 @@ double RowObjective::evaluate(const topo::RowTopology& row) const {
   const double average = (pair_weights_.empty() || weights_all_zero_)
                              ? paths.average_cost()
                              : paths.weighted_average_cost(pair_weights_);
-  if (worst_weight_ <= 0.0) return average;
-  return (1.0 - worst_weight_) * average + worst_weight_ * paths.max_cost();
+  double primary = average;
+  if (worst_weight_ > 0.0)
+    primary =
+        (1.0 - worst_weight_) * average + worst_weight_ * paths.max_cost();
+  if (secondary_weight_ <= 0.0) return primary;
+  return (1.0 - secondary_weight_) * primary +
+         secondary_weight_ * secondary_(row);
 }
 
 RowObjective RowObjective::sub_objective(int lo, int len) const {
@@ -59,6 +74,8 @@ RowObjective RowObjective::sub_objective(int lo, int len) const {
   }();
   sub.evals_ = evals_;  // attribute recursive work to the root objective
   sub.worst_weight_ = worst_weight_;
+  sub.secondary_weight_ = secondary_weight_;
+  sub.secondary_ = secondary_;
   return sub;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -51,6 +52,19 @@ class RowObjective {
     return worst_weight_;
   }
 
+  /// Blends a secondary row metric into the score:
+  ///   (1 - weight) * primary + weight * metric(row).
+  /// The fault subsystem uses this for reliability-aware placement (metric =
+  /// degraded latency under link failures), but any row-scored criterion
+  /// works. The metric must be size-agnostic — divide-and-conquer applies
+  /// the objective to sub-rows. A zero weight (the default) disables the
+  /// blend; passing weight 0 clears the metric.
+  void set_secondary(double weight,
+                     std::function<double(const topo::RowTopology&)> metric);
+  [[nodiscard]] double secondary_weight() const noexcept {
+    return secondary_weight_;
+  }
+
   /// True when the objective weights all pairs equally (the general-purpose
   /// case); lets the divide-and-conquer initializer reuse a half-solution
   /// for both halves.
@@ -75,6 +89,8 @@ class RowObjective {
   std::vector<double> pair_weights_;  // empty => uniform
   bool weights_all_zero_ = false;
   double worst_weight_ = 0.0;
+  double secondary_weight_ = 0.0;
+  std::function<double(const topo::RowTopology&)> secondary_;
   // Shared with sub-objectives so recursive work is attributed to the root.
   std::shared_ptr<long> evals_ = std::make_shared<long>(0);
 };

@@ -110,13 +110,27 @@ CutUse vertical_cut_use(const sim::Network& network,
 bool warn_if_undrained(const sim::SimStats& stats,
                        const std::string& context) {
   if (stats.drained) return true;
+  const long in_flight = stats.packets_offered - stats.packets_finished;
+  if (stats.packets_lost > 0 || stats.packets_unroutable > 0) {
+    // Faults, not saturation: packets were purged with retries exhausted or
+    // refused because no surviving route existed.
+    std::fprintf(stderr,
+                 "WARNING: %s: %ld of %ld measured packets never drained "
+                 "(%ld lost to faults, %ld unroutable; last ejection at "
+                 "cycle %ld) — losses come from severed routes, not "
+                 "saturation\n",
+                 context.c_str(), in_flight, stats.packets_offered,
+                 stats.packets_lost, stats.packets_unroutable,
+                 stats.last_ejection_cycle);
+    return false;
+  }
   std::fprintf(stderr,
-               "WARNING: %s: %ld of %ld measured packets never drained — "
-               "the network is past saturation; reported latencies are "
-               "lower bounds, not steady-state values\n",
-               context.c_str(),
-               stats.packets_offered - stats.packets_finished,
-               stats.packets_offered);
+               "WARNING: %s: %ld of %ld measured packets never drained "
+               "(still in flight at end of run; last ejection at cycle "
+               "%ld) — the network is past saturation; reported latencies "
+               "are lower bounds, not steady-state values\n",
+               context.c_str(), in_flight, stats.packets_offered,
+               stats.last_ejection_cycle);
   return false;
 }
 

@@ -1,0 +1,44 @@
+#include "fault/objective.hpp"
+
+#include <algorithm>
+
+namespace xlp::fault {
+
+double degraded_row_cost(const topo::RowTopology& row,
+                         route::HopWeights weights, DegradedMetric metric) {
+  // Distinct express links; duplicates fail together (shared channel).
+  std::vector<topo::RowLink> links = row.express_links();
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+  if (links.empty())
+    return route::DirectionalShortestPaths(row, weights).average_cost();
+
+  double sum = 0.0;
+  double worst = 0.0;
+  for (const topo::RowLink& link : links) {
+    topo::RowTopology degraded = row;
+    while (degraded.remove_express(link)) {
+    }
+    const double cost =
+        route::DirectionalShortestPaths(degraded, weights).average_cost();
+    sum += cost;
+    worst = std::max(worst, cost);
+  }
+  return metric == DegradedMetric::kWorst
+             ? worst
+             : sum / static_cast<double>(links.size());
+}
+
+core::RowObjective make_reliability_objective(int n,
+                                              route::HopWeights weights,
+                                              double degraded_weight,
+                                              DegradedMetric metric) {
+  core::RowObjective objective(n, weights);
+  if (degraded_weight > 0.0)
+    objective.set_secondary(
+        degraded_weight, [weights, metric](const topo::RowTopology& row) {
+          return degraded_row_cost(row, weights, metric);
+        });
+  return objective;
+}
+
+}  // namespace xlp::fault

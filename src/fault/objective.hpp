@@ -1,0 +1,34 @@
+#pragma once
+
+#include "core/objective.hpp"
+#include "route/directional_paths.hpp"
+#include "topo/row_topology.hpp"
+
+namespace xlp::fault {
+
+/// How single-link-failure scenarios are aggregated into one number.
+enum class DegradedMetric {
+  kExpected,  // mean over failure scenarios (uniform failure probability)
+  kWorst,     // worst scenario
+};
+
+/// Average pairwise head cost of `row` under single-express-link failures:
+/// each distinct express link is removed in turn (all parallel duplicates
+/// with it — they share one physical channel) and the surviving row is
+/// re-scored; the scenarios aggregate per `metric`. Local links stay, so
+/// every scenario remains fully connected. A row without express links has
+/// no failure scenarios and scores as itself.
+[[nodiscard]] double degraded_row_cost(const topo::RowTopology& row,
+                                       route::HopWeights weights,
+                                       DegradedMetric metric);
+
+/// Reliability-aware placement objective (usable by DcSa and OnlySa):
+///   (1 - degraded_weight) * L_ok + degraded_weight * L_degraded
+/// where L_ok is the paper's average pairwise cost and L_degraded is
+/// degraded_row_cost() under `metric`. With weight 0 this is exactly the
+/// baseline objective.
+[[nodiscard]] core::RowObjective make_reliability_objective(
+    int n, route::HopWeights weights, double degraded_weight,
+    DegradedMetric metric = DegradedMetric::kExpected);
+
+}  // namespace xlp::fault

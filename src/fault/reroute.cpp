@@ -1,0 +1,75 @@
+#include "fault/reroute.hpp"
+
+namespace xlp::fault {
+
+namespace {
+
+/// Shortest paths over one row/column with dead channels filtered out of the
+/// monotone adjacency. Local links are filtered like any other link, so a
+/// local-link fault can legitimately sever a direction.
+route::DirectionalShortestPaths degraded_paths(const topo::RowTopology& row,
+                                               Dim dim, int index,
+                                               const FaultSet& faults,
+                                               route::HopWeights weights) {
+  const int n = row.size();
+  std::vector<std::vector<int>> right(static_cast<std::size_t>(n));
+  std::vector<std::vector<int>> left(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    for (int nbr : row.neighbors_right(r))
+      if (!faults.kills(dim, index, r, nbr))
+        right[static_cast<std::size_t>(r)].push_back(nbr);
+    for (int nbr : row.neighbors_left(r))
+      if (!faults.kills(dim, index, r, nbr))
+        left[static_cast<std::size_t>(r)].push_back(nbr);
+  }
+  return {n, right, left, weights};
+}
+
+}  // namespace
+
+RerouteResult reroute(const topo::ExpressMesh& mesh, const FaultSet& faults,
+                      route::HopWeights weights) {
+  std::vector<route::DirectionalShortestPaths> row_paths;
+  std::vector<route::DirectionalShortestPaths> col_paths;
+  row_paths.reserve(static_cast<std::size_t>(mesh.height()));
+  col_paths.reserve(static_cast<std::size_t>(mesh.width()));
+  for (int y = 0; y < mesh.height(); ++y)
+    row_paths.push_back(
+        degraded_paths(mesh.row(y), Dim::kRow, y, faults, weights));
+  for (int x = 0; x < mesh.width(); ++x)
+    col_paths.push_back(
+        degraded_paths(mesh.col(x), Dim::kCol, x, faults, weights));
+
+  RerouteResult result{
+      route::MeshRouting(std::move(row_paths), std::move(col_paths)),
+      {}, {}, true, true, {}};
+
+  const int nodes = mesh.node_count();
+  for (int src = 0; src < nodes; ++src) {
+    for (int dst = 0; dst < nodes; ++dst) {
+      if (src == dst) continue;
+      if (!result.routing.reachable(src, dst, route::Orientation::kXYFirst))
+        result.unreachable_xy.emplace_back(src, dst);
+      if (!result.routing.reachable(src, dst, route::Orientation::kYXFirst))
+        result.unreachable_yx.emplace_back(src, dst);
+    }
+  }
+
+  const route::ChannelDependencyGraph cdg_xy(mesh, result.routing,
+                                             route::Orientation::kXYFirst);
+  std::vector<route::Channel> cycle = cdg_xy.find_cycle();
+  if (!cycle.empty()) {
+    result.acyclic_xy = false;
+    result.cycle_witness = std::move(cycle);
+  }
+  const route::ChannelDependencyGraph cdg_yx(mesh, result.routing,
+                                             route::Orientation::kYXFirst);
+  cycle = cdg_yx.find_cycle();
+  if (!cycle.empty()) {
+    result.acyclic_yx = false;
+    if (result.cycle_witness.empty()) result.cycle_witness = std::move(cycle);
+  }
+  return result;
+}
+
+}  // namespace xlp::fault

@@ -2,10 +2,20 @@
 
 #include <algorithm>
 #include <map>
+#include <sstream>
 
 #include "util/check.hpp"
 
 namespace xlp::route {
+
+std::string describe_channels(const std::vector<Channel>& seq) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (i > 0) os << " -> ";
+    os << seq[i].from << "->" << seq[i].to;
+  }
+  return os.str();
+}
 
 ChannelDependencyGraph::ChannelDependencyGraph(const topo::ExpressMesh& mesh,
                                                const MeshRouting& routing,
@@ -41,6 +51,7 @@ ChannelDependencyGraph::ChannelDependencyGraph(const topo::ExpressMesh& mesh,
   for (int src = 0; src < nodes; ++src) {
     for (int dst = 0; dst < nodes; ++dst) {
       if (src == dst) continue;
+      if (!routing.reachable(src, dst, orientation)) continue;
       const std::vector<int> path = routing.path(src, dst, orientation);
       int prev_channel = -1;
       for (std::size_t i = 0; i + 1 < path.size(); ++i) {
@@ -65,11 +76,15 @@ std::size_t ChannelDependencyGraph::dependency_count() const noexcept {
   return total;
 }
 
-bool ChannelDependencyGraph::has_cycle() const {
+bool ChannelDependencyGraph::has_cycle() const { return !find_cycle().empty(); }
+
+std::vector<Channel> ChannelDependencyGraph::find_cycle() const {
   enum class Mark : std::uint8_t { kWhite, kGray, kBlack };
   std::vector<Mark> mark(channels_.size(), Mark::kWhite);
 
-  // Iterative DFS with explicit stack of (node, next-edge-index).
+  // Iterative DFS with explicit stack of (node, next-edge-index); the stack
+  // always holds the current gray path, so when an edge closes back onto a
+  // gray node the witness is the stack suffix starting at that node.
   std::vector<std::pair<int, std::size_t>> stack;
   for (int start = 0; start < static_cast<int>(channels_.size()); ++start) {
     if (mark[static_cast<std::size_t>(start)] != Mark::kWhite) continue;
@@ -82,7 +97,17 @@ bool ChannelDependencyGraph::has_cycle() const {
       if (edge_idx < edges.size()) {
         const int next = edges[edge_idx++];
         const auto next_mark = mark[static_cast<std::size_t>(next)];
-        if (next_mark == Mark::kGray) return true;
+        if (next_mark == Mark::kGray) {
+          std::vector<Channel> cycle;
+          auto it = std::find_if(stack.begin(), stack.end(),
+                                 [next](const auto& e) {
+                                   return e.first == next;
+                                 });
+          XLP_CHECK(it != stack.end(), "gray node must be on the DFS path");
+          for (; it != stack.end(); ++it)
+            cycle.push_back(channels_[static_cast<std::size_t>(it->first)]);
+          return cycle;
+        }
         if (next_mark == Mark::kWhite) {
           mark[static_cast<std::size_t>(next)] = Mark::kGray;
           stack.emplace_back(next, 0);
@@ -93,7 +118,7 @@ bool ChannelDependencyGraph::has_cycle() const {
       }
     }
   }
-  return false;
+  return {};
 }
 
 }  // namespace xlp::route

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "route/mesh_routing.hpp"
@@ -15,6 +16,10 @@ struct Channel {
   friend constexpr bool operator==(const Channel&, const Channel&) = default;
 };
 
+/// "12->4 -> 4->5 -> ..." rendering of a channel sequence, for diagnostics
+/// (cycle witnesses in particular).
+[[nodiscard]] std::string describe_channels(const std::vector<Channel>& seq);
+
 /// Channel dependency graph under a concrete routing function [Dally &
 /// Seitz]. A dependency (c1 -> c2) exists when some packet, routed by
 /// `routing`, holds c1 while requesting c2 (i.e. traverses c2 immediately
@@ -25,7 +30,9 @@ class ChannelDependencyGraph {
   /// Builds the dependency graph for one routing orientation. O1TURN-style
   /// mixed routing keeps the two orientations on disjoint VC classes, so
   /// its deadlock freedom follows from each orientation's graph being
-  /// acyclic separately.
+  /// acyclic separately. Pairs the routing reports unreachable (possible
+  /// for rerouted tables over a degraded subgraph) contribute no
+  /// dependencies — the fault layer reports them separately.
   ChannelDependencyGraph(const topo::ExpressMesh& mesh,
                          const MeshRouting& routing,
                          Orientation orientation = Orientation::kXYFirst);
@@ -37,6 +44,13 @@ class ChannelDependencyGraph {
 
   /// True when the dependency graph contains a cycle (a deadlock risk).
   [[nodiscard]] bool has_cycle() const;
+
+  /// One witness cycle as its channel sequence c0 -> c1 -> ... (the last
+  /// element depends back on the first); empty when the graph is acyclic.
+  /// has_cycle() == !find_cycle().empty(), but the witness lets rerouting
+  /// failures and test diagnostics name the offending channels instead of
+  /// reporting a bare boolean.
+  [[nodiscard]] std::vector<Channel> find_cycle() const;
 
   [[nodiscard]] const std::vector<Channel>& channels() const noexcept {
     return channels_;

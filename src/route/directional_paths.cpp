@@ -18,21 +18,43 @@ DirectionalShortestPaths::DirectionalShortestPaths(
       cost_(static_cast<std::size_t>(n_) * n_, kInf),
       hops_(static_cast<std::size_t>(n_) * n_, -1),
       next_(static_cast<std::size_t>(n_) * n_, -1) {
-  compute(row);
-}
-
-void DirectionalShortestPaths::compute(const topo::RowTopology& row) {
-  for (int i = 0; i < n_; ++i) {
-    cost_[idx(i, i)] = 0.0;
-    hops_[idx(i, i)] = 0;
-  }
-
   // Adjacency by direction. neighbors_right/left are sorted and de-duped.
   std::vector<std::vector<int>> right(static_cast<std::size_t>(n_));
   std::vector<std::vector<int>> left(static_cast<std::size_t>(n_));
   for (int r = 0; r < n_; ++r) {
     right[r] = row.neighbors_right(r);
     left[r] = row.neighbors_left(r);
+  }
+  compute(right, left);
+
+  // Local links guarantee connectivity in both directions.
+  for (int i = 0; i < n_; ++i)
+    for (int j = 0; j < n_; ++j)
+      XLP_CHECK(cost_[idx(i, j)] < kInf,
+                "row with local links must be fully connected");
+}
+
+DirectionalShortestPaths::DirectionalShortestPaths(
+    int n, const std::vector<std::vector<int>>& right,
+    const std::vector<std::vector<int>>& left, HopWeights weights)
+    : n_(n),
+      weights_(weights),
+      cost_(static_cast<std::size_t>(n_) * n_, kInf),
+      hops_(static_cast<std::size_t>(n_) * n_, -1),
+      next_(static_cast<std::size_t>(n_) * n_, -1) {
+  XLP_REQUIRE(n >= 2, "a row needs at least two routers");
+  XLP_REQUIRE(right.size() == static_cast<std::size_t>(n) &&
+                  left.size() == static_cast<std::size_t>(n),
+              "adjacency lists must have one entry per router");
+  compute(right, left);
+}
+
+void DirectionalShortestPaths::compute(
+    const std::vector<std::vector<int>>& right,
+    const std::vector<std::vector<int>>& left) {
+  for (int i = 0; i < n_; ++i) {
+    cost_[idx(i, i)] = 0.0;
+    hops_[idx(i, i)] = 0;
   }
 
   // Monotone paths form a DAG in each direction; fill by increasing span.
@@ -76,12 +98,11 @@ void DirectionalShortestPaths::compute(const topo::RowTopology& row) {
       }
     }
   }
+}
 
-  // Local links guarantee connectivity in both directions.
-  for (int i = 0; i < n_; ++i)
-    for (int j = 0; j < n_; ++j)
-      XLP_CHECK(cost_[idx(i, j)] < kInf,
-                "row with local links must be fully connected");
+bool DirectionalShortestPaths::reachable(int i, int j) const {
+  XLP_REQUIRE(i >= 0 && i < n_ && j >= 0 && j < n_, "index out of range");
+  return cost_[idx(i, j)] < kInf;
 }
 
 double DirectionalShortestPaths::cost(int i, int j) const {
@@ -102,6 +123,8 @@ int DirectionalShortestPaths::next_hop(int i, int j) const {
 
 std::vector<int> DirectionalShortestPaths::path(int i, int j) const {
   XLP_REQUIRE(i >= 0 && i < n_ && j >= 0 && j < n_, "index out of range");
+  XLP_REQUIRE(cost_[idx(i, j)] < kInf,
+              "no surviving monotone path between these routers");
   std::vector<int> out{i};
   int cur = i;
   while (cur != j) {

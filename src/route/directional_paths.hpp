@@ -34,21 +34,38 @@ class DirectionalShortestPaths {
  public:
   DirectionalShortestPaths(const topo::RowTopology& row, HopWeights weights);
 
+  /// Shortest paths over an explicit monotone adjacency: `right[r]` /
+  /// `left[r]` are the sorted surviving neighbors of router r in each
+  /// direction. Used by the fault subsystem to route around dead links, so
+  /// unlike the RowTopology constructor this one tolerates severed
+  /// directions: an unreachable pair keeps infinite cost, hops() == -1 and
+  /// next_hop() == -1 — check reachable() before following the table.
+  DirectionalShortestPaths(int n, const std::vector<std::vector<int>>& right,
+                           const std::vector<std::vector<int>>& left,
+                           HopWeights weights);
+
   [[nodiscard]] int size() const noexcept { return n_; }
 
-  /// Head cost of the path from i to j; 0 when i == j.
+  /// True when the monotone subgraph still has a path from i to j (always
+  /// true for tables built from a RowTopology, whose local links guarantee
+  /// connectivity).
+  [[nodiscard]] bool reachable(int i, int j) const;
+
+  /// Head cost of the path from i to j; 0 when i == j, infinite when
+  /// unreachable.
   [[nodiscard]] double cost(int i, int j) const;
-  /// Links traversed from i to j; 0 when i == j.
+  /// Links traversed from i to j; 0 when i == j, -1 when unreachable.
   [[nodiscard]] int hops(int i, int j) const;
-  /// Next router after i on the path to j; j itself when directly linked.
-  /// Requires i != j.
+  /// Next router after i on the path to j; j itself when directly linked,
+  /// -1 when unreachable. Requires i != j.
   [[nodiscard]] int next_hop(int i, int j) const;
 
-  /// Full router sequence i, ..., j (inclusive).
+  /// Full router sequence i, ..., j (inclusive). Requires reachable(i, j).
   [[nodiscard]] std::vector<int> path(int i, int j) const;
 
   /// Average cost over all ordered pairs i != j: the objective that
-  /// P̄(n, C) minimizes (uniform pairwise traffic).
+  /// P̄(n, C) minimizes (uniform pairwise traffic). The averages below are
+  /// only meaningful when every pair is reachable (infinities propagate).
   [[nodiscard]] double average_cost() const;
 
   /// Average over ordered pairs weighted by `weight[i][j]` (flattened i*n+j);
@@ -68,7 +85,8 @@ class DirectionalShortestPaths {
     return static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
            static_cast<std::size_t>(j);
   }
-  void compute(const topo::RowTopology& row);
+  void compute(const std::vector<std::vector<int>>& right,
+               const std::vector<std::vector<int>>& left);
 
   int n_;
   HopWeights weights_;

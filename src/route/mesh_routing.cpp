@@ -14,6 +14,41 @@ MeshRouting::MeshRouting(const topo::ExpressMesh& mesh, HopWeights weights)
     col_paths_.emplace_back(mesh.col(x), weights);
 }
 
+MeshRouting::MeshRouting(std::vector<DirectionalShortestPaths> row_paths,
+                         std::vector<DirectionalShortestPaths> col_paths)
+    : width_(0),
+      height_(0),
+      row_paths_(std::move(row_paths)),
+      col_paths_(std::move(col_paths)) {
+  XLP_REQUIRE(!row_paths_.empty() && !col_paths_.empty(),
+              "routing needs at least one row and one column table");
+  width_ = row_paths_.front().size();
+  height_ = col_paths_.front().size();
+  XLP_REQUIRE(row_paths_.size() == static_cast<std::size_t>(height_) &&
+                  col_paths_.size() == static_cast<std::size_t>(width_),
+              "need one table per row and per column");
+  for (const auto& r : row_paths_)
+    XLP_REQUIRE(r.size() == width_, "row tables must all have width entries");
+  for (const auto& c : col_paths_)
+    XLP_REQUIRE(c.size() == height_,
+                "column tables must all have height entries");
+}
+
+bool MeshRouting::reachable(int src, int dest, Orientation orientation) const {
+  XLP_REQUIRE(src >= 0 && src < width_ * height_ && dest >= 0 &&
+                  dest < width_ * height_,
+              "node out of range");
+  if (src == dest) return true;
+  const int sx = src % width_, sy = src / width_;
+  const int dx = dest % width_, dy = dest / width_;
+  if (orientation == Orientation::kXYFirst) {
+    return row_paths_[static_cast<std::size_t>(sy)].reachable(sx, dx) &&
+           col_paths_[static_cast<std::size_t>(dx)].reachable(sy, dy);
+  }
+  return col_paths_[static_cast<std::size_t>(sx)].reachable(sy, dy) &&
+         row_paths_[static_cast<std::size_t>(dy)].reachable(sx, dx);
+}
+
 int MeshRouting::next_hop(int node, int dest, Orientation orientation) const {
   XLP_REQUIRE(node != dest, "packet at its destination should eject");
   const int nx = node % width_;
@@ -25,9 +60,15 @@ int MeshRouting::next_hop(int node, int dest, Orientation orientation) const {
     // Row segment (XY: first while x differs; YX: last, once y matches).
     const int next_x =
         row_paths_[static_cast<std::size_t>(ny)].next_hop(nx, dx);
+    XLP_REQUIRE(next_x >= 0,
+                "destination unreachable on the degraded row — check "
+                "reachable() before routing");
     return ny * width_ + next_x;
   }
   const int next_y = col_paths_[static_cast<std::size_t>(nx)].next_hop(ny, dy);
+  XLP_REQUIRE(next_y >= 0,
+              "destination unreachable on the degraded column — check "
+              "reachable() before routing");
   return next_y * width_ + nx;
 }
 

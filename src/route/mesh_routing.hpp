@@ -25,11 +25,27 @@ class MeshRouting {
  public:
   MeshRouting(const topo::ExpressMesh& mesh, HopWeights weights);
 
+  /// Assembles routing from externally computed per-row / per-column
+  /// tables — the fault subsystem's rerouted tables over a degraded
+  /// subgraph. `row_paths` needs one entry per row (each of size width),
+  /// `col_paths` one per column (each of size height). Tables built this
+  /// way may have unreachable pairs; check reachable() before routing.
+  MeshRouting(std::vector<DirectionalShortestPaths> row_paths,
+              std::vector<DirectionalShortestPaths> col_paths);
+
   [[nodiscard]] int width() const noexcept { return width_; }
   [[nodiscard]] int height() const noexcept { return height_; }
 
+  /// True when the tables can deliver src -> dest under the orientation.
+  /// Always true for tables built from an intact ExpressMesh; rerouted
+  /// tables may have a severed monotone direction.
+  [[nodiscard]] bool reachable(int src, int dest,
+                               Orientation orientation =
+                                   Orientation::kXYFirst) const;
+
   /// Next router id after `node` on the way to `dest`; `node == dest` is a
-  /// precondition violation (the packet should eject instead).
+  /// precondition violation (the packet should eject instead), and so is an
+  /// unreachable pair.
   [[nodiscard]] int next_hop(int node, int dest,
                              Orientation orientation =
                                  Orientation::kXYFirst) const;

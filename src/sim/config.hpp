@@ -1,5 +1,8 @@
 #pragma once
 
+#include <vector>
+
+#include "fault/model.hpp"
 #include "latency/packet_mix.hpp"
 
 namespace xlp::obs {
@@ -7,6 +10,40 @@ class TraceSink;
 }
 
 namespace xlp::sim {
+
+/// What to do with packets already in flight when a fault severs their path.
+///  * kDrainThenSwap: graceful reconfiguration — injection is gated, the
+///    network drains on the old tables (the dead link keeps carrying the
+///    flits already committed to it, a static-reconfiguration assumption),
+///    then routing swaps atomically on an empty network;
+///  * kDropRetransmit: the fault takes effect immediately — every in-flight
+///    packet whose route crosses a dead channel is purged (a conservative
+///    over-approximation: a worm that already cleared the channel is dropped
+///    too) and its source retransmits it on the rerouted tables, up to
+///    `FaultSchedule::max_retries` attempts, keeping the original creation
+///    timestamp so measured latency includes the fault penalty.
+enum class FaultPolicy { kDrainThenSwap, kDropRetransmit };
+
+/// One timed fault-set activation: `faults` becomes active at `cycle` and,
+/// when `recover_cycle >= 0`, retires again at that cycle (transient fault);
+/// -1 means permanent.
+struct FaultEvent {
+  long cycle = 0;
+  fault::FaultSet faults;
+  long recover_cycle = -1;
+};
+
+/// Mid-run fault injection plan. Each activation/retirement triggers a
+/// reroute on the surviving subgraph plus a table swap under `policy`.
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+  FaultPolicy policy = FaultPolicy::kDropRetransmit;
+  /// Retransmission attempts per packet under kDropRetransmit; a packet
+  /// dropped more than this many times is lost (and reported).
+  int max_retries = 3;
+
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+};
 
 /// How packets are routed through the two dimensions.
 ///  * kXY / kYX: pure dimension-order routing (the paper's default is XY);
@@ -73,6 +110,11 @@ struct SimConfig {
   /// counts. Null by default so instrumentation costs nothing.
   obs::TraceSink* trace = nullptr;
   long trace_interval_cycles = 1000;
+
+  /// Mid-run fault injection (empty by default). An empty schedule leaves
+  /// the simulator bit-for-bit identical to a fault-free build: no extra
+  /// rng draws, no routing indirection cost, no gating.
+  FaultSchedule faults;
 
   /// Derived per-VC depth for a router with `ports` ports at `flit_bits`.
   [[nodiscard]] int vc_depth_flits(int ports, int flit_bits) const {

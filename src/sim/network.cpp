@@ -10,6 +10,8 @@ Network::Network(const topo::ExpressMesh& mesh, route::HopWeights weights)
     : width_(mesh.width()),
       height_(mesh.height()),
       flit_bits_(mesh.flit_bits()),
+      mesh_(mesh),
+      weights_(weights),
       routing_(mesh, weights) {
   const int nodes = node_count();
   ports_.resize(static_cast<std::size_t>(nodes));
@@ -83,6 +85,14 @@ int Network::port_count(int router) const {
 const Network::Port& Network::port(int router, int p) const {
   XLP_REQUIRE(p >= 0 && p < port_count(router), "port out of range");
   return ports_[static_cast<std::size_t>(router)][static_cast<std::size_t>(p)];
+}
+
+int Network::port_to(int router, int peer) const {
+  XLP_REQUIRE(router >= 0 && router < node_count() && peer >= 0 &&
+                  peer < node_count(),
+              "node out of range");
+  return port_of_peer_[static_cast<std::size_t>(router)]
+                      [static_cast<std::size_t>(peer)];
 }
 
 int Network::next_output_port(int router, int dst,

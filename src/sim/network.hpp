@@ -51,6 +51,9 @@ class Network {
     return channels_;
   }
 
+  /// Port of `router` facing neighbor `peer`; -1 when they are not adjacent.
+  [[nodiscard]] int port_to(int router, int peer) const;
+
   /// Output port a packet at `router` heading for node `dst` must take
   /// under the given dimension order; port 0 (ejection) when router == dst.
   [[nodiscard]] int next_output_port(
@@ -61,10 +64,21 @@ class Network {
     return routing_;
   }
 
+  /// The design this network was built from; the fault subsystem reroutes
+  /// against it when links die mid-run.
+  [[nodiscard]] const topo::ExpressMesh& mesh() const noexcept {
+    return mesh_;
+  }
+  [[nodiscard]] const route::HopWeights& hop_weights() const noexcept {
+    return weights_;
+  }
+
  private:
   int width_;
   int height_;
   int flit_bits_;
+  topo::ExpressMesh mesh_;
+  route::HopWeights weights_;
   route::MeshRouting routing_;
   std::vector<std::vector<Port>> ports_;          // [router][port]
   std::vector<std::vector<int>> port_of_peer_;    // [router][peer] -> port

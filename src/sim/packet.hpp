@@ -18,6 +18,12 @@ struct Packet {
   long ejected = -1;   // cycle its tail flit reached the destination NI
   int hops = 0;        // links traversed by the head flit
   bool measured = false;  // created inside the measurement window
+  bool y_first = false;   // routing orientation chosen at creation
+  int retries = 0;        // retransmission attempts that produced this copy
+  bool dropped = false;   // purged by a fault (a retransmitted copy, if any,
+                          // is a separate packet preserving `created`)
+  bool superseded = false;  // a retransmitted copy exists; statistics count
+                            // the copy, not this entry
 };
 
 /// One flow-control unit. Flits travel by value; the owning packet is

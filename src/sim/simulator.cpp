@@ -5,7 +5,9 @@
 #include <limits>
 #include <tuple>
 
+#include "fault/reroute.hpp"
 #include "obs/trace.hpp"
+#include "route/deadlock.hpp"
 #include "util/check.hpp"
 #include "util/numeric.hpp"
 
@@ -94,6 +96,41 @@ Simulator::Simulator(const Network& network,
   mix_cdf_.back() = 1.0;
 
   activity_.flit_bits = net_.flit_bits();
+
+  // Fault machinery. With an empty schedule everything below stays inert:
+  // routing_ aliases the network's pristine tables and extra_pipeline_ is
+  // all zero, so the fault-free fast path is bit-identical to before.
+  routing_ = &net_.routing();
+  faults_enabled_ = !config_.faults.empty();
+  extra_pipeline_.assign(static_cast<std::size_t>(nodes), 0);
+  channel_dead_.assign(net_.channels().size(), 0);
+  if (faults_enabled_) {
+    XLP_REQUIRE(config_.faults.max_retries >= 0,
+                "max_retries must be non-negative");
+    const auto& events = config_.faults.events;
+    event_active_.assign(events.size(), 0);
+    for (std::size_t e = 0; e < events.size(); ++e) {
+      const FaultEvent& ev = events[e];
+      XLP_REQUIRE(ev.cycle >= 0, "fault cycle must be non-negative");
+      XLP_REQUIRE(ev.recover_cycle < 0 || ev.recover_cycle > ev.cycle,
+                  "recovery must come after the fault");
+      for (const fault::LinkFault& lf : ev.faults.link_faults()) {
+        const bool is_row = lf.id.dim == fault::Dim::kRow;
+        const int span = is_row ? net_.width() : net_.height();
+        const int count = is_row ? net_.height() : net_.width();
+        XLP_REQUIRE(lf.id.index < count && lf.id.link.hi < span,
+                    "link fault outside the mesh");
+      }
+      for (const fault::PortFault& pf : ev.faults.port_faults())
+        XLP_REQUIRE(pf.router < nodes, "port fault outside the mesh");
+      // Order 1 = activation, 0 = recovery; at equal cycles recoveries
+      // apply first so a replacement fault set takes over atomically.
+      fault_edges_.emplace_back(ev.cycle, 1, e);
+      if (ev.recover_cycle >= 0)
+        fault_edges_.emplace_back(ev.recover_cycle, 0, e);
+    }
+    std::sort(fault_edges_.begin(), fault_edges_.end());
+  }
 }
 
 int Simulator::pick_packet_bits() {
@@ -111,7 +148,40 @@ std::pair<int, int> Simulator::vc_class(bool y_first) const {
                  : std::pair{0, half};
 }
 
+bool Simulator::choose_orientation(const route::MeshRouting& routing,
+                                   int src, int dst, bool* y_first) {
+  switch (config_.routing) {
+    case RoutingMode::kXY: *y_first = false; break;
+    case RoutingMode::kYX: *y_first = true; break;
+    case RoutingMode::kO1Turn: {
+      if (!faults_enabled_) {
+        *y_first = rng_.bernoulli(0.5);
+        return true;
+      }
+      // A degraded network may have severed one orientation class; O1TURN
+      // traffic survives on the other.
+      const bool xy_ok =
+          routing.reachable(src, dst, route::Orientation::kXYFirst);
+      const bool yx_ok =
+          routing.reachable(src, dst, route::Orientation::kYXFirst);
+      if (!xy_ok && !yx_ok) return false;
+      *y_first = (xy_ok && yx_ok) ? rng_.bernoulli(0.5) : yx_ok;
+      return true;
+    }
+  }
+  if (!faults_enabled_) return true;
+  return routing.reachable(src, dst,
+                           *y_first ? route::Orientation::kYXFirst
+                                    : route::Orientation::kXYFirst);
+}
+
 long Simulator::create_packet(int src, int dst, int bits) {
+  bool y_first = false;
+  if (!choose_orientation(admission_routing(), src, dst, &y_first)) {
+    ++packets_unroutable_;
+    return -1;
+  }
+
   Packet pk;
   pk.id = static_cast<long>(packets_.size());
   pk.src = src;
@@ -120,15 +190,9 @@ long Simulator::create_packet(int src, int dst, int bits) {
   pk.flits = latency::PacketMix::flits_for(bits, net_.flit_bits());
   pk.created = cycle_;
   pk.measured = in_measurement_window();
+  pk.y_first = y_first;
   if (pk.measured) ++outstanding_measured_;
   packets_.push_back(pk);
-
-  bool y_first = false;
-  switch (config_.routing) {
-    case RoutingMode::kXY: y_first = false; break;
-    case RoutingMode::kYX: y_first = true; break;
-    case RoutingMode::kO1Turn: y_first = rng_.bernoulli(0.5); break;
-  }
 
   auto& queue = nodes_[static_cast<std::size_t>(src)].source_queue;
   for (int s = 0; s < pk.flits; ++s) {
@@ -174,6 +238,11 @@ void Simulator::generate_traffic(int node) {
 
 void Simulator::inject(int node) {
   auto& st = nodes_[static_cast<std::size_t>(node)];
+  // Graceful reconfiguration gates new packets while the network drains on
+  // the old tables (sources keep queueing). A packet already mid-injection
+  // keeps sending: its head holds VC claims along an old-table path, so the
+  // tail must follow and release them before the tables may swap.
+  if (draining_for_swap_ && st.active_vc < 0) return;
   if (st.source_queue.empty()) return;
   Flit& f = st.source_queue.front();
 
@@ -185,7 +254,9 @@ void Simulator::inject(int node) {
     for (int v = vc_lo; v < vc_hi; ++v) {
       if (!port0[static_cast<std::size_t>(v)].owned) {
         port0[static_cast<std::size_t>(v)].owned = true;
+        port0[static_cast<std::size_t>(v)].owner = f.packet;
         st.active_vc = v;
+        st.active_packet = f.packet;
         break;
       }
     }
@@ -205,9 +276,13 @@ void Simulator::inject(int node) {
   // NI-to-router wiring is length 0: the flit is written into the router's
   // local input buffer next cycle (the arrival handler stamps ready_cycle).
   ni_arrivals_.push_back({cycle_ + 1, node, sent});
+  ++in_network_flits_;
 
   if (sent.is_head) packets_[sent.packet].injected = cycle_ + 1;
-  if (sent.is_tail) st.active_vc = -1;
+  if (sent.is_tail) {
+    st.active_vc = -1;
+    st.active_packet = -1;
+  }
 }
 
 void Simulator::deliver_channel_arrivals() {
@@ -217,7 +292,8 @@ void Simulator::deliver_channel_arrivals() {
     auto [when, node, f] = ni_arrivals_.front();
     ni_arrivals_.pop_front();
     XLP_CHECK(when == cycle_, "missed an NI arrival");
-    f.ready_cycle = cycle_ + (config_.pipeline_stages - 1);
+    f.ready_cycle = cycle_ + (config_.pipeline_stages - 1) +
+                    extra_pipeline_[static_cast<std::size_t>(node)];
     auto& vc = routers_[static_cast<std::size_t>(node)]
                    .in[0][static_cast<std::size_t>(f.vc)];
     XLP_CHECK(static_cast<int>(vc.buffer.size()) <
@@ -233,7 +309,9 @@ void Simulator::deliver_channel_arrivals() {
       Flit f = queue.front().second;
       queue.pop_front();
       const auto& channel = net_.channels()[ch];
-      f.ready_cycle = cycle_ + (config_.pipeline_stages - 1);
+      f.ready_cycle =
+          cycle_ + (config_.pipeline_stages - 1) +
+          extra_pipeline_[static_cast<std::size_t>(channel.dst_router)];
       auto& vc = routers_[static_cast<std::size_t>(channel.dst_router)]
                      .in[static_cast<std::size_t>(channel.dst_port)]
                      [static_cast<std::size_t>(f.vc)];
@@ -268,6 +346,16 @@ void Simulator::deliver_credits() {
   }
 }
 
+int Simulator::output_port(int router, int dst, bool y_first) const {
+  if (router == dst) return 0;
+  const int next = routing_->next_hop(router, dst,
+                                      y_first ? route::Orientation::kYXFirst
+                                              : route::Orientation::kXYFirst);
+  const int p = net_.port_to(router, next);
+  XLP_CHECK(p >= 1, "routing selected a node that is not a neighbor");
+  return p;
+}
+
 void Simulator::allocate(int router) {
   auto& rs = routers_[static_cast<std::size_t>(router)];
   const int ports = net_.port_count(router);
@@ -276,11 +364,8 @@ void Simulator::allocate(int router) {
       InVc& q = rs.in[static_cast<std::size_t>(p)][static_cast<std::size_t>(v)];
       if (q.active || q.buffer.empty() || !q.buffer.front().is_head) continue;
       const Flit& head = q.buffer.front();
-      // Route computation.
-      const int out_port = net_.next_output_port(
-          router, head.dst,
-          head.y_first ? route::Orientation::kYXFirst
-                       : route::Orientation::kXYFirst);
+      // Route computation against the live (possibly rerouted) tables.
+      const int out_port = output_port(router, head.dst, head.y_first);
       if (out_port == 0) {  // ejection needs no downstream VC
         q.out_port = 0;
         q.out_vc = 0;
@@ -296,6 +381,7 @@ void Simulator::allocate(int router) {
       for (int u = vc_lo; u < vc_hi; ++u) {
         if (!peer_vcs[static_cast<std::size_t>(u)].owned) {
           peer_vcs[static_cast<std::size_t>(u)].owned = true;
+          peer_vcs[static_cast<std::size_t>(u)].owner = head.packet;
           q.out_port = out_port;
           q.out_vc = u;
           q.active = true;
@@ -392,15 +478,21 @@ void Simulator::arbitrate(int router) {
       }
 
       if (out == 0) {
+        --in_network_flits_;
         Packet& pk = packets_[f.packet];
         if (f.is_head) pk.head_ejected = cycle_ + 1;
         if (f.is_tail) {
           pk.ejected = cycle_ + 1;
           ++ejected_total_;
+          last_ejection_cycle_ = cycle_ + 1;
           if (pk.measured) --outstanding_measured_;
         }
       } else {
         const auto& port = net_.port(router, out);
+        if (faults_enabled_)
+          XLP_CHECK(!channel_dead_[static_cast<std::size_t>(
+                        port.out_channel)],
+                    "granted a flit onto a dead channel");
         f.vc = q.out_vc;
         if (f.is_head) ++packets_[f.packet].hops;
         channel_flits_[static_cast<std::size_t>(port.out_channel)].push_back(
@@ -420,6 +512,7 @@ void Simulator::arbitrate(int router) {
         q.bypass = false;
         q.out_port = -1;
         q.out_vc = -1;
+        q.owner = -1;
       }
     }
   }
@@ -439,6 +532,12 @@ SimStats Simulator::run() {
       break;
     if (tracing && cycle_ > 0 && cycle_ % config_.trace_interval_cycles == 0)
       emit_progress();
+    if (faults_enabled_) {
+      process_fault_edges();
+      if (draining_for_swap_ && in_network_flits_ == 0 &&
+          !injection_in_progress())
+        perform_swap();
+    }
     deliver_channel_arrivals();
     deliver_credits();
     while (next_scheduled_ < scheduled_.size() &&
@@ -467,6 +566,316 @@ SimStats Simulator::run() {
             .set("drained", stats.drained));
   }
   return stats;
+}
+
+void Simulator::process_fault_edges() {
+  bool changed = false;
+  while (next_fault_edge_ < fault_edges_.size() &&
+         std::get<0>(fault_edges_[next_fault_edge_]) <= cycle_) {
+    const auto [when, order, ev] = fault_edges_[next_fault_edge_++];
+    const bool is_recovery = order == 0;
+    event_active_[ev] = is_recovery ? 0 : 1;
+    changed = true;
+    if (config_.trace != nullptr && config_.trace->enabled())
+      config_.trace->emit(
+          is_recovery ? "fault.recovered" : "fault.injected",
+          obs::Json::object()
+              .set("cycle", cycle_)
+              .set("faults", config_.faults.events[ev].faults.to_string())
+              .set("policy", config_.faults.policy ==
+                                     FaultPolicy::kDrainThenSwap
+                                 ? "drain_then_swap"
+                                 : "drop_retransmit"));
+  }
+  if (!changed) return;
+  active_faults_ = {};
+  for (std::size_t e = 0; e < event_active_.size(); ++e) {
+    if (!event_active_[e]) continue;
+    for (const fault::LinkFault& lf :
+         config_.faults.events[e].faults.link_faults())
+      active_faults_.add(lf);
+    for (const fault::PortFault& pf :
+         config_.faults.events[e].faults.port_faults())
+      active_faults_.add(pf);
+  }
+  apply_fault_epoch();
+}
+
+void Simulator::apply_fault_epoch() {
+  fault::RerouteResult rr =
+      fault::reroute(net_.mesh(), active_faults_, net_.hop_weights());
+  XLP_CHECK(rr.deadlock_free(),
+            "rerouted tables are not deadlock-free: " +
+                route::describe_channels(rr.cycle_witness));
+  pending_routing_ = std::move(rr.routing);
+  pending_unreachable_xy_ = std::move(rr.unreachable_xy);
+  pending_unreachable_yx_ = std::move(rr.unreachable_yx);
+  if (config_.faults.policy == FaultPolicy::kDrainThenSwap &&
+      (in_network_flits_ > 0 || injection_in_progress())) {
+    draining_for_swap_ = true;
+    return;
+  }
+  perform_swap();
+}
+
+bool Simulator::injection_in_progress() const {
+  // A node with a claimed NI VC is mid-packet: flits already routed by the
+  // old tables are (or will be) holding VCs downstream, so a table swap
+  // must wait for its tail even when no flit is currently in the network.
+  for (const NodeState& st : nodes_)
+    if (st.active_vc >= 0) return true;
+  return false;
+}
+
+void Simulator::perform_swap() {
+  draining_for_swap_ = false;
+
+  // Dead directed channels under the new fault set.
+  const int w = net_.width();
+  std::vector<char> dead(net_.channels().size(), 0);
+  for (std::size_t ch = 0; ch < net_.channels().size(); ++ch) {
+    const auto& channel = net_.channels()[ch];
+    const int sx = channel.src_router % w, sy = channel.src_router / w;
+    const int dx = channel.dst_router % w, dy = channel.dst_router / w;
+    dead[ch] = sy == dy
+                   ? active_faults_.kills(fault::Dim::kRow, sy, sx, dx)
+                   : active_faults_.kills(fault::Dim::kCol, sx, sy, dy);
+  }
+
+  // Victim selection (kDropRetransmit): every in-flight packet whose route
+  // under the OLD tables crosses a newly dead channel. Conservative — a
+  // worm that already cleared the channel is purged and retransmitted too.
+  std::vector<long> victim_ids;
+  if (config_.faults.policy == FaultPolicy::kDropRetransmit) {
+    std::vector<char> victim(packets_.size(), 0);
+    for (const Packet& pk : packets_) {
+      if (pk.injected < 0 || pk.ejected >= 0 || pk.dropped) continue;
+      const std::vector<int> path =
+          routing_->path(pk.src, pk.dst,
+                         pk.y_first ? route::Orientation::kYXFirst
+                                    : route::Orientation::kXYFirst);
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const int p = net_.port_to(path[i], path[i + 1]);
+        XLP_CHECK(p >= 1, "old route left the topology");
+        const int ch = net_.port(path[i], p).out_channel;
+        if (dead[static_cast<std::size_t>(ch)]) {
+          victim[static_cast<std::size_t>(pk.id)] = 1;
+          victim_ids.push_back(pk.id);
+          break;
+        }
+      }
+    }
+    if (!victim_ids.empty()) purge_packets(victim);
+  }
+
+  // The swap itself. in_network_flits_ == 0 here under kDrainThenSwap.
+  degraded_routing_ = std::move(*pending_routing_);
+  pending_routing_.reset();
+  routing_ = &*degraded_routing_;
+  channel_dead_ = std::move(dead);
+  for (int r = 0; r < net_.node_count(); ++r)
+    extra_pipeline_[static_cast<std::size_t>(r)] =
+        active_faults_.extra_pipeline_cycles(r);
+
+  // Queued-but-uninjected packets chose their orientation under the old
+  // tables; re-check it. A severed orientation flips to the surviving one
+  // under O1TURN (no rng draw, to keep the stream stable) or loses the
+  // packet under pure DOR.
+  for (auto& st : nodes_) {
+    if (st.source_queue.empty()) continue;
+    std::deque<Flit> kept;
+    for (Flit& f : st.source_queue) {
+      Packet& pk = packets_[static_cast<std::size_t>(f.packet)];
+      if (pk.dropped) continue;
+      if (pk.injected >= 0) {  // mid-injection: orientation is committed
+        kept.push_back(f);
+        continue;
+      }
+      if (f.is_head &&
+          !routing_->reachable(pk.src, pk.dst,
+                               pk.y_first ? route::Orientation::kYXFirst
+                                          : route::Orientation::kXYFirst)) {
+        const bool other_ok =
+            config_.routing == RoutingMode::kO1Turn &&
+            routing_->reachable(pk.src, pk.dst,
+                                pk.y_first ? route::Orientation::kXYFirst
+                                           : route::Orientation::kYXFirst);
+        if (other_ok) {
+          pk.y_first = !pk.y_first;
+        } else {
+          pk.dropped = true;
+          ++packets_lost_;
+          if (pk.measured) --outstanding_measured_;
+          continue;
+        }
+      }
+      f.y_first = pk.y_first;
+      kept.push_back(f);
+    }
+    st.source_queue = std::move(kept);
+  }
+
+  // Retransmissions ride the new tables and keep the original creation
+  // timestamp, so measured latency includes the fault penalty.
+  long retransmitted_now = 0;
+  for (const long id : victim_ids) {
+    Packet& old = packets_[static_cast<std::size_t>(id)];
+    if (old.retries >= config_.faults.max_retries) {
+      ++packets_lost_;
+      continue;
+    }
+    bool y_first = false;
+    if (!choose_orientation(*routing_, old.src, old.dst, &y_first)) {
+      ++packets_lost_;
+      continue;
+    }
+    Packet pk;
+    pk.id = static_cast<long>(packets_.size());
+    pk.src = old.src;
+    pk.dst = old.dst;
+    pk.bits = old.bits;
+    pk.flits = old.flits;
+    pk.created = old.created;
+    pk.measured = old.measured;
+    pk.y_first = y_first;
+    pk.retries = old.retries + 1;
+    old.superseded = true;
+    if (pk.measured) ++outstanding_measured_;
+    packets_.push_back(pk);
+    auto& queue = nodes_[static_cast<std::size_t>(pk.src)].source_queue;
+    for (int s = 0; s < pk.flits; ++s) {
+      Flit f;
+      f.packet = pk.id;
+      f.seq = s;
+      f.is_head = s == 0;
+      f.is_tail = s == pk.flits - 1;
+      f.dst = pk.dst;
+      f.y_first = y_first;
+      queue.push_back(f);
+    }
+    ++packets_retransmitted_;
+    ++retransmitted_now;
+  }
+
+  ++reroutes_;
+  if (config_.trace != nullptr && config_.trace->enabled())
+    config_.trace->emit(
+        "fault.rerouted",
+        obs::Json::object()
+            .set("cycle", cycle_)
+            .set("faults", active_faults_.to_string())
+            .set("unreachable_xy",
+                 static_cast<long>(pending_unreachable_xy_.size()))
+            .set("unreachable_yx",
+                 static_cast<long>(pending_unreachable_yx_.size()))
+            .set("packets_dropped", static_cast<long>(victim_ids.size()))
+            .set("packets_retransmitted", retransmitted_now));
+}
+
+void Simulator::purge_packets(const std::vector<char>& victim) {
+  const int nodes = net_.node_count();
+  const auto is_victim = [&victim](long id) {
+    return id >= 0 && id < static_cast<long>(victim.size()) &&
+           victim[static_cast<std::size_t>(id)] != 0;
+  };
+
+  // Source queues and the NI-side packet claim.
+  for (auto& st : nodes_) {
+    if (!st.source_queue.empty()) {
+      std::deque<Flit> kept;
+      for (const Flit& f : st.source_queue)
+        if (!is_victim(f.packet)) kept.push_back(f);
+      st.source_queue = std::move(kept);
+    }
+    if (is_victim(st.active_packet)) {
+      st.active_vc = -1;
+      st.active_packet = -1;
+    }
+  }
+
+  // Flits in flight from an NI into its router: the NI credit was consumed
+  // at injection; restore it directly.
+  {
+    std::deque<std::tuple<long, int, Flit>> kept;
+    for (auto& entry : ni_arrivals_) {
+      const Flit& f = std::get<2>(entry);
+      if (is_victim(f.packet)) {
+        ++ni_credits_[static_cast<std::size_t>(std::get<1>(entry))]
+                     [static_cast<std::size_t>(f.vc)];
+        --in_network_flits_;
+      } else {
+        kept.push_back(std::move(entry));
+      }
+    }
+    ni_arrivals_ = std::move(kept);
+  }
+
+  // Flits on the wire: the upstream credit was decremented at grant time
+  // and the flit will never occupy the downstream buffer; restore directly.
+  for (std::size_t ch = 0; ch < channel_flits_.size(); ++ch) {
+    auto& queue = channel_flits_[ch];
+    if (queue.empty()) continue;
+    const auto& channel = net_.channels()[ch];
+    std::deque<std::pair<long, Flit>> kept;
+    for (auto& entry : queue) {
+      if (is_victim(entry.second.packet)) {
+        ++routers_[static_cast<std::size_t>(channel.src_router)]
+              .credits[static_cast<std::size_t>(channel.src_port)]
+                      [static_cast<std::size_t>(entry.second.vc)];
+        --in_network_flits_;
+      } else {
+        kept.push_back(std::move(entry));
+      }
+    }
+    queue = std::move(kept);
+  }
+
+  // Router input buffers: freed slots return upstream over the normal
+  // credit path (one cycle), and any VC reservation a victim held is
+  // released — including owned-but-empty VCs claimed via allocation.
+  for (int r = 0; r < nodes; ++r) {
+    auto& rs = routers_[static_cast<std::size_t>(r)];
+    for (int p = 0; p < net_.port_count(r); ++p) {
+      for (int v = 0; v < config_.vcs_per_port; ++v) {
+        InVc& q =
+            rs.in[static_cast<std::size_t>(p)][static_cast<std::size_t>(v)];
+        if (!q.buffer.empty()) {
+          std::deque<Flit> kept;
+          for (const Flit& f : q.buffer) {
+            if (is_victim(f.packet)) {
+              if (p == 0) {
+                ni_credit_returns_.push_back({cycle_ + 1, r, v});
+              } else {
+                const int in_ch = net_.port(r, p).in_channel;
+                channel_credits_[static_cast<std::size_t>(in_ch)].push_back(
+                    {cycle_ + 1, v});
+              }
+              --in_network_flits_;
+            } else {
+              kept.push_back(f);
+            }
+          }
+          q.buffer = std::move(kept);
+        }
+        if (q.owned && is_victim(q.owner)) {
+          q.owned = false;
+          q.active = false;
+          q.bypass = false;
+          q.out_port = -1;
+          q.out_vc = -1;
+          q.owner = -1;
+        }
+      }
+    }
+  }
+
+  for (std::size_t id = 0; id < victim.size(); ++id) {
+    if (!victim[id]) continue;
+    Packet& pk = packets_[id];
+    pk.dropped = true;
+    ++packets_dropped_;
+    if (pk.measured) --outstanding_measured_;
+  }
 }
 
 const char* Simulator::phase_name(long cycle) const noexcept {
@@ -520,6 +929,12 @@ SimStats Simulator::finalize() const {
   SimStats stats;
   stats.activity = activity_;
   stats.channel_flits = channel_flits_measured_;
+  stats.last_ejection_cycle = last_ejection_cycle_;
+  stats.reroutes = reroutes_;
+  stats.packets_dropped = packets_dropped_;
+  stats.packets_retransmitted = packets_retransmitted_;
+  stats.packets_lost = packets_lost_;
+  stats.packets_unroutable = packets_unroutable_;
 
   const long measure_start = config_.warmup_cycles;
   const long measure_end = measure_start + config_.measure_cycles;
@@ -530,6 +945,7 @@ SimStats Simulator::finalize() const {
   long hops_sum = 0;
   std::vector<double> latencies;
   for (const Packet& pk : packets_) {
+    if (pk.superseded) continue;  // its retransmitted copy carries the stats
     if (pk.ejected >= measure_start && pk.ejected < measure_end)
       ++stats.packets_ejected_in_window;
     if (!pk.measured) continue;

@@ -1,9 +1,13 @@
 #pragma once
 
 #include <deque>
+#include <optional>
 #include <tuple>
 #include <utility>
 #include <vector>
+
+#include "fault/model.hpp"
+#include "route/mesh_routing.hpp"
 
 #include "sim/config.hpp"
 #include "sim/network.hpp"
@@ -58,6 +62,8 @@ class Simulator {
     bool bypass = false;  // straight-through virtual-express traversal
     int out_port = -1;
     int out_vc = -1;
+    long owner = -1;      // packet holding the reservation (fault purge
+                          // must release owned-but-empty VCs)
   };
 
   struct RouterState {
@@ -70,6 +76,7 @@ class Simulator {
   struct NodeState {
     std::deque<Flit> source_queue;  // flits of queued packets, in order
     int active_vc = -1;             // port-0 VC owned by the packet being sent
+    long active_packet = -1;        // the packet mid-injection on active_vc
     double rate = 0.0;              // packets/cycle offered by this node
     std::vector<double> dest_cdf;   // cumulative over destinations
     std::vector<int> dest_node;
@@ -77,6 +84,32 @@ class Simulator {
 
   long create_packet(int src, int dst, int bits);
   void generate_traffic(int node);
+  /// Routing table new packets will travel under: the pending rerouted
+  /// tables while a drain-then-swap is in progress, the live ones otherwise.
+  [[nodiscard]] const route::MeshRouting& admission_routing() const noexcept {
+    return pending_routing_ ? *pending_routing_ : *routing_;
+  }
+  /// Picks a routing orientation for a src->dst packet per the configured
+  /// mode; with the fault system engaged, restricted to orientations that
+  /// still reach dst. Returns false when no surviving orientation exists.
+  [[nodiscard]] bool choose_orientation(const route::MeshRouting& routing,
+                                        int src, int dst, bool* y_first);
+  /// Output port at `router` toward `dst` under the live routing tables.
+  [[nodiscard]] int output_port(int router, int dst, bool y_first) const;
+  /// Applies every fault edge scheduled at the current cycle.
+  void process_fault_edges();
+  /// Reroutes around the active fault set and swaps tables (immediately
+  /// under kDropRetransmit; kDrainThenSwap defers via pending_routing_).
+  void apply_fault_epoch();
+  /// Swaps the live tables for `pending_routing_`, purging and
+  /// retransmitting in-flight victims under kDropRetransmit.
+  void perform_swap();
+  /// True while some node holds a claimed NI VC (a packet mid-injection);
+  /// drain-then-swap must wait for these even at zero in-network flits.
+  [[nodiscard]] bool injection_in_progress() const;
+  /// Removes every flit of `victims` (by packet id) from the source queues,
+  /// NI pipelines, router buffers and channels, restoring credits.
+  void purge_packets(const std::vector<char>& victims);
   /// VC index range [lo, hi) available to a packet with the given
   /// orientation: the full range under pure DOR, a half under O1TURN.
   [[nodiscard]] std::pair<int, int> vc_class(bool y_first) const;
@@ -101,6 +134,32 @@ class Simulator {
   const Network& net_;
   SimConfig config_;
   Rng rng_;
+
+  // Fault-injection state. With an empty schedule: faults_enabled_ is
+  // false, routing_ stays &net_.routing() and none of the machinery below
+  // runs, so behavior is identical to a fault-free simulator.
+  bool faults_enabled_ = false;
+  const route::MeshRouting* routing_;
+  std::optional<route::MeshRouting> degraded_routing_;
+  std::optional<route::MeshRouting> pending_routing_;  // drain-then-swap
+  // (cycle, is_recovery, event index); recoveries sort before activations
+  // at the same cycle so a replacement fault set takes over atomically.
+  std::vector<std::tuple<long, int, std::size_t>> fault_edges_;
+  std::size_t next_fault_edge_ = 0;
+  std::vector<char> event_active_;
+  fault::FaultSet active_faults_;
+  std::vector<std::pair<int, int>> pending_unreachable_xy_;
+  std::vector<std::pair<int, int>> pending_unreachable_yx_;
+  std::vector<char> channel_dead_;   // [channel] under the live tables
+  std::vector<int> extra_pipeline_;  // [router] port-degradation cycles
+  bool draining_for_swap_ = false;
+  long in_network_flits_ = 0;  // NI pipelines + router buffers + channels
+  long last_ejection_cycle_ = -1;
+  long reroutes_ = 0;
+  long packets_dropped_ = 0;
+  long packets_retransmitted_ = 0;
+  long packets_lost_ = 0;
+  long packets_unroutable_ = 0;
 
   long cycle_ = 0;
   std::vector<Packet> packets_;

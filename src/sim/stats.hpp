@@ -62,6 +62,18 @@ struct SimStats {
   /// True when every measured packet drained before the run ended; if
   /// false the network was past saturation for this configuration.
   bool drained = true;
+
+  /// Cycle of the last tail ejection (-1 when nothing ejected). Together
+  /// with the in-flight count this distinguishes saturation (ejections
+  /// continue to the end) from a fault-severed route (ejections stop).
+  long last_ejection_cycle = -1;
+
+  // Fault-injection outcome counters (lifetime, all zero without faults).
+  long reroutes = 0;               // routing-table swaps performed
+  long packets_dropped = 0;        // purged mid-flight by a fault
+  long packets_retransmitted = 0;  // dropped packets re-sent by their source
+  long packets_lost = 0;           // dropped with retries exhausted or no route
+  long packets_unroutable = 0;     // refused at creation: no surviving route
 };
 
 }  // namespace xlp::sim

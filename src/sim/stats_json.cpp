@@ -40,7 +40,15 @@ obs::Json stats_to_json(const SimStats& stats) {
       .set("avg_contention_per_hop", stats.avg_contention_per_hop)
       .set("activity", std::move(activity))
       .set("channel_flits", std::move(channel_flits))
-      .set("drained", stats.drained);
+      .set("drained", stats.drained)
+      .set("last_ejection_cycle", stats.last_ejection_cycle)
+      .set("faults",
+           obs::Json::object()
+               .set("reroutes", stats.reroutes)
+               .set("packets_dropped", stats.packets_dropped)
+               .set("packets_retransmitted", stats.packets_retransmitted)
+               .set("packets_lost", stats.packets_lost)
+               .set("packets_unroutable", stats.packets_unroutable));
 }
 
 bool write_stats_json(const SimStats& stats, const std::string& path) {

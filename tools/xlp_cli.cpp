@@ -12,6 +12,10 @@
 //   xlp appspec   --workload canneal [--n 8] [--moves 2000] [--seed 1]
 //   xlp run       --n 8 --c 4 [--moves 10000] [--pattern uniform_random]
 //                 [--load 0.02] [--cycles 10000] [--seed 1]
+//   xlp faults    --n 8 --c 4 [--kill-express 1] [--at-cycle 2000]
+//                 [--recover-at -1] [--trials 10] [--load 0.02]
+//                 [--policy drop|drain] [--retries 3] [--rel-weight 0.3]
+//                 [--seed 1] [--json campaign.json]
 //
 // Telemetry (see docs/observability.md):
 //   --trace <file.jsonl>   structured JSONL trace (SA cooling steps on
@@ -36,6 +40,7 @@
 #include "core/c_sweep.hpp"
 #include "core/drivers.hpp"
 #include "core/portfolio.hpp"
+#include "exp/fault_campaign.hpp"
 #include "exp/scenarios.hpp"
 #include "latency/model.hpp"
 #include "obs/metrics.hpp"
@@ -56,7 +61,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: xlp <solve|sweep|simulate|trace|replay|appspec|run> "
+               "usage: xlp <solve|sweep|simulate|trace|replay|appspec|run|"
+               "faults> "
                "[options]\n(see the header of tools/xlp_cli.cpp for the "
                "full option list)\n");
   return 1;
@@ -352,6 +358,62 @@ int cmd_run(const Args& args) {
   return 0;
 }
 
+/// Monte Carlo resilience campaign: Mesh, HFB, D&C_SA and a
+/// reliability-aware D&C_SA under random express-link failures injected
+/// mid-run (see docs/fault_tolerance.md).
+int cmd_faults(const Args& args) {
+  exp::FaultCampaignConfig config;
+  config.n = static_cast<int>(args.get_long("n", 8));
+  config.link_limit = static_cast<int>(args.get_long("c", 4));
+  config.kill_links = static_cast<int>(args.get_long("kill-express", 1));
+  config.trials = static_cast<int>(args.get_long("trials", 10));
+  config.fault_cycle = args.get_long("at-cycle", 2000);
+  config.recover_cycle = args.get_long("recover-at", -1);
+  config.load = args.get_double("load", 0.02);
+  config.max_retries = static_cast<int>(args.get_long("retries", 3));
+  config.reliability_weight = args.get_double("rel-weight", 0.3);
+  config.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  const std::string policy = args.get_or("policy", "drop");
+  if (policy == "drain") config.policy = sim::FaultPolicy::kDrainThenSwap;
+  else XLP_REQUIRE(policy == "drop", "--policy must be drop or drain");
+
+  TraceOutput trace(args);
+  config.trace = trace.sink_or_null();
+
+  const exp::FaultCampaignResult result = exp::run_fault_campaign(config);
+
+  const std::string recover =
+      config.recover_cycle >= 0
+          ? ", recover at " + std::to_string(config.recover_cycle)
+          : "";
+  std::printf("fault campaign: %dx%d, C=%d, kill %d express link%s at cycle "
+              "%ld%s, %d trial%s, policy %s\n",
+              config.n, config.n, config.link_limit, config.kill_links,
+              config.kill_links == 1 ? "" : "s", config.fault_cycle,
+              recover.c_str(), config.trials, config.trials == 1 ? "" : "s",
+              policy.c_str());
+  Table table({"design", "baseline", "degraded", "worst", "lost",
+               "unroutable"});
+  for (const auto& d : result.designs)
+    table.add_row({d.name, Table::fmt(d.baseline_latency),
+                   Table::fmt(d.degraded_mean), Table::fmt(d.degraded_worst),
+                   std::to_string(d.lost_total),
+                   std::to_string(d.unroutable_total)});
+  table.print(std::cout);
+  std::printf("  latencies in cycles; degraded = mean over trials after "
+              "rerouting\n");
+
+  if (const std::string json_path = args.get_or("json", "");
+      !json_path.empty()) {
+    std::ofstream out(json_path);
+    XLP_REQUIRE(out.good(), "cannot open " + json_path);
+    out << result.to_json().dump() << "\n";
+    std::printf("  json: %s written\n", json_path.c_str());
+  }
+  trace.report();
+  return 0;
+}
+
 int cmd_appspec(const Args& args) {
   const int n = static_cast<int>(args.get_long("n", 8));
   const auto demand = resolve_workload(args.get_or("workload", "canneal"),
@@ -389,6 +451,7 @@ int main(int argc, char** argv) {
     else if (command == "replay") rc = cmd_replay(args);
     else if (command == "appspec") rc = cmd_appspec(args);
     else if (command == "run") rc = cmd_run(args);
+    else if (command == "faults") rc = cmd_faults(args);
     else return usage();
 
     // Global telemetry flag: dump the process-wide metrics registry
