@@ -6,60 +6,16 @@
 // monotone subgraph, and compare degraded latency against the fault-free
 // baseline.  The paper itself does not study faults; this extends its
 // experimental setup along the axis motivated in docs/fault_tolerance.md.
-//
-// Usage: fault_campaign [campaign.json]
-//   The optional argument also dumps the full per-trial results as JSON
-//   (deterministic: byte-identical across runs with the same build).
+// The campaign body lives in bench/suites.cpp (suite "fault_campaign");
+// the full per-trial series is the payload of BENCH_fault_campaign.json.
 
-#include <cstdio>
-#include <fstream>
-#include <iostream>
-
-#include "exp/fault_campaign.hpp"
-#include "util/table.hpp"
-
-using namespace xlp;
+#include "harness.hpp"
+#include "suites.hpp"
 
 int main(int argc, char** argv) {
-  exp::FaultCampaignConfig config;
-  config.n = 8;
-  config.link_limit = 4;
-  config.kill_links = 1;
-  config.trials = 10;
-  config.fault_cycle = 2000;
-
-  std::printf("fault campaign — %dx%d, C=%d, %d express link(s) killed at "
-              "cycle %ld, %d trials per design, drop-and-retransmit\n\n",
-              config.n, config.n, config.link_limit, config.kill_links,
-              config.fault_cycle, config.trials);
-
-  const exp::FaultCampaignResult result = exp::run_fault_campaign(config);
-
-  Table table({"design", "baseline", "degraded mean", "degraded worst",
-               "slowdown", "lost", "unroutable"});
-  for (const auto& d : result.designs) {
-    const double slowdown =
-        d.degraded_mean > 0.0 ? d.degraded_mean / d.baseline_latency : 0.0;
-    table.add_row({d.name, Table::fmt(d.baseline_latency),
-                   Table::fmt(d.degraded_mean), Table::fmt(d.degraded_worst),
-                   Table::fmt(slowdown, 3) + "x",
-                   std::to_string(d.lost_total),
-                   std::to_string(d.unroutable_total)});
-  }
-  table.print(std::cout);
-  std::printf("\n  latencies in cycles; degraded = mean over %d sampled "
-              "single-fault trials after rerouting.\n  DC_SA_rel trades a "
-              "little fault-free latency for a flatter degraded profile.\n",
-              config.trials);
-
-  if (argc > 1) {
-    std::ofstream out(argv[1]);
-    if (!out.good()) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
-      return 1;
-    }
-    out << result.to_json().dump() << "\n";
-    std::printf("  json: %s written\n", argv[1]);
-  }
-  return 0;
+  xlp::bench::register_all_suites();
+  xlp::bench::RunnerOptions defaults;
+  defaults.warmup = 0;
+  defaults.repeats = 1;
+  return xlp::bench::run_main(argc, argv, defaults, "^fault_campaign/8x8_c4");
 }

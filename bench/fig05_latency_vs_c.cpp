@@ -5,12 +5,13 @@
 // headline reductions (23.5%/8.0% on 8x8, 36.4%/20.1% on 16x16).
 
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 
 #include "core/c_sweep.hpp"
 #include "exp/scenarios.hpp"
+#include "harness.hpp"
 #include "obs/json.hpp"
+#include "obs/provenance.hpp"
 #include "util/csv.hpp"
 #include "util/numeric.hpp"
 #include "util/table.hpp"
@@ -19,7 +20,7 @@ using namespace xlp;
 
 namespace {
 
-void run_size(int n) {
+void run_size(int n, const obs::Provenance& provenance) {
   std::printf("\n=== Fig. 5 (%dx%d): average packet latency vs link limit C "
               "===\n",
               n, n);
@@ -75,20 +76,20 @@ void run_size(int n) {
     std::printf("  csv: %s %s\n", path.c_str(),
                 csv.write_file(path) ? "written" : "NOT WRITTEN");
     // Machine-readable series (one document per size) so successive runs
-    // can be diffed into a bench trajectory.
-    const obs::Json doc = obs::Json::object()
-                              .set("figure", "fig05")
-                              .set("n", n)
-                              .set("mesh_total", mesh_total)
-                              .set("hfb_total", hfb_total)
-                              .set("points", std::move(points));
-    const std::string json_path =
-        dir + "/fig05_" + std::to_string(n) + "x" + std::to_string(n) +
-        ".json";
-    std::ofstream out(json_path);
-    const bool ok = out.good() && (out << doc.dump() << '\n').good();
-    std::printf("  json: %s %s\n", json_path.c_str(),
-                ok ? "written" : "NOT WRITTEN");
+    // can be diffed into a bench trajectory — emitted through the shared
+    // harness writer so it carries the same schema and provenance block as
+    // every other BENCH_*.json.
+    const obs::Json data = obs::Json::object()
+                               .set("figure", "fig05")
+                               .set("n", n)
+                               .set("mesh_total", mesh_total)
+                               .set("hfb_total", hfb_total)
+                               .set("points", std::move(points));
+    const std::string json_path = bench::write_artifact(
+        dir, "fig05_" + std::to_string(n) + "x" + std::to_string(n), data,
+        provenance);
+    std::printf("  json: %s\n", json_path.empty() ? "NOT WRITTEN"
+                                                  : json_path.c_str());
   }
   std::printf("  fixed points: Mesh = %.2f cycles (C=1), HFB = %.2f cycles "
               "(C=%d)\n",
@@ -113,6 +114,7 @@ int main() {
   std::printf("Fig. 5 reproduction — paper expectations: best C interior; "
               "D&C_SA < HFB < Mesh;\nreductions vs Mesh/HFB: 8.1%%/~0%% "
               "(4x4), 23.5%%/8.0%% (8x8), 36.4%%/20.1%% (16x16).\n");
-  for (const int n : {4, 8, 16}) run_size(n);
+  const obs::Provenance provenance = obs::Provenance::collect(0);
+  for (const int n : {4, 8, 16}) run_size(n, provenance);
   return 0;
 }

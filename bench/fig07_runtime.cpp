@@ -3,109 +3,22 @@
 // 8x8 and 16x16 networks. Runtime is normalized to the cost of the
 // initial-solution procedure I(n,4), measured in objective evaluations
 // (the dominant cost of both algorithms), exactly as the paper normalizes
-// to I(8,4) and I(16,4).
+// to I(8,4) and I(16,4). The experiment body lives in bench/suites.cpp
+// (suite "fig07_runtime"); the series lands in BENCH_fig07_runtime.json.
 
 #include <cstdio>
-#include <fstream>
-#include <iostream>
 
-#include "core/c_sweep.hpp"
-#include "core/drivers.hpp"
-#include "exp/scenarios.hpp"
-#include "latency/model.hpp"
-#include "obs/json.hpp"
-#include "topo/builders.hpp"
-#include "util/csv.hpp"
-#include "util/table.hpp"
+#include "harness.hpp"
+#include "suites.hpp"
 
-using namespace xlp;
-
-namespace {
-
-double design_latency(const topo::RowTopology& row, int limit, int n) {
-  const auto design = topo::make_design(row, limit);
-  return core::evaluate_design(design,
-                               latency::LatencyParams::parsec_typical(),
-                               traffic::parsec_average_matrix(n))
-      .total();
-}
-
-void run_size(int n) {
-  constexpr int kLimit = 4;  // the paper normalizes to I(n,4)
-  const core::RowObjective objective(n, route::HopWeights{});
-
-  // Cost of the initializer = the runtime unit.
-  const core::PlacementResult dnc = core::solve_dnc_only(objective, kLimit);
-  const double unit = static_cast<double>(dnc.evaluations);
-
-  std::printf("\n=== Fig. 7 (%dx%d): latency vs normalized runtime "
-              "(unit = I(%d,%d) = %ld evals) ===\n",
-              n, n, n, kLimit, dnc.evaluations);
-
-  Table table({"runtime", "D&C_SA", "OnlySA"});
-  obs::Json points = obs::Json::array();
-  const double scale = exp::bench_scale();
-  for (const double budget_units :
-       {1.0, 2.0, 5.0, 10.0, 30.0, 100.0, 300.0, 1000.0}) {
-    // Equal total evaluation budgets: D&C_SA pays for its initializer out
-    // of the same budget that OnlySA spends purely on annealing moves.
-    const long budget_evals = std::max<long>(
-        1, static_cast<long>(budget_units * unit * scale));
-    const long dcsa_moves = std::max<long>(0, budget_evals -
-                                                  dnc.evaluations);
-    const long only_moves = budget_evals;
-
-    // Average a few seeds to damp annealing noise, as the paper averages
-    // over benchmarks.
-    double dcsa_sum = 0.0, only_sum = 0.0;
-    constexpr int kSeeds = 3;
-    for (int seed = 0; seed < kSeeds; ++seed) {
-      Rng r1(static_cast<std::uint64_t>(seed * 17 + n));
-      Rng r2(static_cast<std::uint64_t>(seed * 31 + n + 1));
-      const auto dcsa = core::solve_dcsa(
-          objective, kLimit,
-          exp::paper_sa_params().with_moves(std::max<long>(1, dcsa_moves)),
-          r1);
-      const auto only = core::solve_only_sa(
-          objective, kLimit, exp::paper_sa_params().with_moves(only_moves),
-          r2);
-      dcsa_sum += design_latency(dcsa.placement, kLimit, n);
-      only_sum += design_latency(only.placement, kLimit, n);
-    }
-    table.add_row({Table::fmt(budget_units, 0), Table::fmt(dcsa_sum / kSeeds),
-                   Table::fmt(only_sum / kSeeds)});
-    points.push(obs::Json::object()
-                    .set("runtime_units", budget_units)
-                    .set("budget_evals", budget_evals)
-                    .set("dcsa_latency", dcsa_sum / kSeeds)
-                    .set("onlysa_latency", only_sum / kSeeds));
-  }
-  table.print(std::cout);
-  if (const std::string dir = csv_output_dir(); !dir.empty()) {
-    // Machine-readable series so future PRs can track the runtime/quality
-    // frontier across revisions.
-    const obs::Json doc = obs::Json::object()
-                              .set("figure", "fig07")
-                              .set("n", n)
-                              .set("unit_evals", static_cast<long>(unit))
-                              .set("points", std::move(points));
-    const std::string path =
-        dir + "/fig07_" + std::to_string(n) + "x" + std::to_string(n) +
-        ".json";
-    std::ofstream out(path);
-    const bool ok = out.good() && (out << doc.dump() << '\n').good();
-    std::printf("  json: %s %s\n", path.c_str(),
-                ok ? "written" : "NOT WRITTEN");
-  }
-}
-
-}  // namespace
-
-int main() {
+int main(int argc, char** argv) {
   std::printf("Fig. 7 reproduction — paper expectation: D&C_SA reaches a "
               "satisfying result by\n~150 runtime units while OnlySA still "
               "trails it even at 10,000 units.\n");
-  run_size(8);
-  run_size(16);
-  return 0;
+  xlp::bench::register_all_suites();
+  xlp::bench::RunnerOptions defaults;
+  defaults.warmup = 0;
+  defaults.repeats = 1;
+  return xlp::bench::run_main(argc, argv, defaults,
+                              "^fig07_runtime/(8x8|16x16)");
 }

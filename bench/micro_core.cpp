@@ -1,105 +1,17 @@
-// Micro-benchmarks (google-benchmark) for the kernels whose cost determines
-// the optimizer's runtime: routing-table construction, connection-matrix
-// decode/encode, objective evaluation, one SA move, the D&C initializer and
-// small exhaustive searches. These are the "runtime units" behind Fig. 7
-// and Fig. 12.
+// Micro-benchmarks for the kernels whose cost determines the optimizer's
+// runtime: routing-table construction, connection-matrix decode/encode,
+// objective evaluation, one SA move, the D&C initializer and small
+// exhaustive searches. These are the "runtime units" behind Fig. 7 and
+// Fig. 12. The kernels live in bench/suites.cpp (suite "micro_core"); this
+// binary just runs that suite through the shared harness.
 
-#include <benchmark/benchmark.h>
+#include "harness.hpp"
+#include "suites.hpp"
 
-#include "core/branch_bound.hpp"
-#include "core/dnc.hpp"
-#include "core/objective.hpp"
-#include "core/sa.hpp"
-#include "route/directional_paths.hpp"
-#include "topo/connection_matrix.hpp"
-#include "util/rng.hpp"
-
-using namespace xlp;
-
-namespace {
-
-topo::RowTopology sample_row(int n, int limit) {
-  Rng rng(static_cast<std::uint64_t>(n * 131 + limit));
-  return topo::ConnectionMatrix::random(n, limit, rng, 0.5).decode();
+int main(int argc, char** argv) {
+  xlp::bench::register_all_suites();
+  xlp::bench::RunnerOptions defaults;
+  defaults.warmup = 1;
+  defaults.repeats = 5;
+  return xlp::bench::run_main(argc, argv, defaults, "^micro_core/");
 }
-
-void BM_DirectionalPaths(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const topo::RowTopology row = sample_row(n, 4);
-  for (auto _ : state) {
-    route::DirectionalShortestPaths paths(row, route::HopWeights{});
-    benchmark::DoNotOptimize(paths.cost(0, n - 1));
-  }
-}
-BENCHMARK(BM_DirectionalPaths)->Arg(8)->Arg(16)->Arg(32);
-
-void BM_MatrixDecode(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Rng rng(1);
-  const auto m = topo::ConnectionMatrix::random(n, 4, rng, 0.5);
-  for (auto _ : state) {
-    auto row = m.decode();
-    benchmark::DoNotOptimize(row);
-  }
-}
-BENCHMARK(BM_MatrixDecode)->Arg(8)->Arg(16)->Arg(32);
-
-void BM_MatrixEncode(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const topo::RowTopology row = sample_row(n, 4);
-  for (auto _ : state) {
-    auto m = topo::ConnectionMatrix::encode(row, 4);
-    benchmark::DoNotOptimize(m);
-  }
-}
-BENCHMARK(BM_MatrixEncode)->Arg(8)->Arg(16);
-
-void BM_ObjectiveEvaluate(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const core::RowObjective obj(n, route::HopWeights{});
-  const topo::RowTopology row = sample_row(n, 4);
-  for (auto _ : state) benchmark::DoNotOptimize(obj.evaluate(row));
-}
-BENCHMARK(BM_ObjectiveEvaluate)->Arg(8)->Arg(16)->Arg(32);
-
-void BM_SaMoves(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const core::RowObjective obj(n, route::HopWeights{});
-  Rng rng(3);
-  core::SaParams params;
-  params.total_moves = 100;
-  params.moves_per_cool = 25;
-  const auto initial = topo::ConnectionMatrix::random(n, 4, rng, 0.5);
-  for (auto _ : state) {
-    Rng move_rng(7);
-    auto result = core::anneal_connection_matrix(initial, obj, params,
-                                                 move_rng);
-    benchmark::DoNotOptimize(result.best_value);
-  }
-  state.SetItemsProcessed(state.iterations() * params.total_moves);
-}
-BENCHMARK(BM_SaMoves)->Arg(8)->Arg(16);
-
-void BM_DncInitializer(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const core::RowObjective obj(n, route::HopWeights{});
-  for (auto _ : state) {
-    auto result = core::dnc_initial_solution(obj, 4);
-    benchmark::DoNotOptimize(result.value);
-  }
-}
-BENCHMARK(BM_DncInitializer)->Arg(8)->Arg(16)->Arg(32);
-
-void BM_BranchBoundSmall(benchmark::State& state) {
-  const core::RowObjective obj(static_cast<int>(state.range(0)),
-                               route::HopWeights{});
-  for (auto _ : state) {
-    core::BranchAndBound bb(obj, 2);
-    benchmark::DoNotOptimize(bb.solve().value);
-  }
-}
-BENCHMARK(BM_BranchBoundSmall)->Arg(4)->Arg(6)->Arg(8);
-
-}  // namespace
-
-BENCHMARK_MAIN();

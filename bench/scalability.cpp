@@ -4,55 +4,21 @@
 // keeps widening as the mesh diameter grows; this bench extends the sweep
 // to 24x24 and 32x32 and also reports the optimizer's cost scaling
 // (evaluations and wall-clock), which the O(n^5) initializer analysis
-// predicts.
+// predicts. The sweep bodies live in bench/suites.cpp (suite
+// "scalability"); results land in BENCH_scalability.json.
 
 #include <cstdio>
-#include <iostream>
 
-#include "core/c_sweep.hpp"
-#include "exp/scenarios.hpp"
-#include "util/numeric.hpp"
-#include "util/stopwatch.hpp"
-#include "util/table.hpp"
+#include "harness.hpp"
+#include "suites.hpp"
 
-using namespace xlp;
-
-int main() {
+int main(int argc, char** argv) {
   std::printf("Scalability extension — placement benefit and optimizer cost "
               "vs network size.\nPaper data points: 8.1%% (4x4), 23.5%% "
-              "(8x8), 36.4%% (16x16) vs Mesh.\n\n");
-
-  Table table({"network", "Mesh", "best D&C_SA", "C*", "reduction",
-               "evals", "seconds"});
-  for (const int n : {4, 8, 16, 24, 32}) {
-    core::SweepOptions options;
-    options.sa = exp::paper_sa_params().with_moves(
-        std::max<long>(200, static_cast<long>(10000 * exp::bench_scale())));
-    options.latency = latency::LatencyParams::zero_load();
-
-    Stopwatch timer;
-    Rng rng(static_cast<std::uint64_t>(77 + n));
-    const auto points = core::sweep_link_limits(n, options, rng);
-    const double seconds = timer.seconds();
-    const auto& best = points[core::best_point(points)];
-
-    long evals = 0;
-    for (const auto& p : points) evals += p.placement.evaluations;
-
-    const double mesh_total =
-        core::evaluate_design(topo::make_mesh(n), options.latency, {})
-            .total();
-    table.add_row(
-        {std::to_string(n) + "x" + std::to_string(n),
-         Table::fmt(mesh_total), Table::fmt(best.breakdown.total()),
-         std::to_string(best.link_limit),
-         Table::fmt(-percent_change(best.breakdown.total(), mesh_total), 1) +
-             "%",
-         std::to_string(evals), Table::fmt(seconds, 2)});
-  }
-  table.print(std::cout);
-  std::printf("\n(the reduction keeps growing with the diameter; the cost "
-              "stays laptop-scale,\nas the O(n^5) initializer analysis of "
-              "Section 4.4.1 predicts)\n");
-  return 0;
+              "(8x8), 36.4%% (16x16) vs Mesh.\n");
+  xlp::bench::register_all_suites();
+  xlp::bench::RunnerOptions defaults;
+  defaults.warmup = 0;
+  defaults.repeats = 1;
+  return xlp::bench::run_main(argc, argv, defaults, "^scalability/");
 }

@@ -1,0 +1,308 @@
+// All benchmark suites, registered explicitly via register_all_suites().
+// micro_core carries the kernel benchmarks that used to live on
+// google-benchmark; sim measures simulator throughput; fig07_runtime,
+// scalability and fault_campaign wrap the corresponding experiments so
+// their series land in schema-versioned BENCH_*.json documents.
+
+#include "suites.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/branch_bound.hpp"
+#include "core/c_sweep.hpp"
+#include "core/dnc.hpp"
+#include "core/drivers.hpp"
+#include "core/objective.hpp"
+#include "core/sa.hpp"
+#include "exp/fault_campaign.hpp"
+#include "exp/scenarios.hpp"
+#include "harness.hpp"
+#include "latency/model.hpp"
+#include "route/directional_paths.hpp"
+#include "topo/builders.hpp"
+#include "topo/connection_matrix.hpp"
+#include "traffic/app_models.hpp"
+#include "traffic/matrix.hpp"
+#include "util/numeric.hpp"
+#include "util/rng.hpp"
+
+namespace xlp::bench {
+
+namespace {
+
+// Keeps results observable so the optimizer cannot delete a kernel body.
+volatile double g_sink = 0.0;
+
+topo::RowTopology sample_row(int n, int limit) {
+  Rng rng(static_cast<std::uint64_t>(n * 131 + limit));
+  return topo::ConnectionMatrix::random(n, limit, rng, 0.5).decode();
+}
+
+void register_micro_core() {
+  for (const int n : {8, 16, 32}) {
+    register_bench("micro_core", "directional_paths_" + std::to_string(n),
+                   n == 8 ? "smoke" : "", [n](BenchRun& run) {
+                     const topo::RowTopology row = sample_row(n, 4);
+                     constexpr int kIters = 20;
+                     for (int i = 0; i < kIters; ++i) {
+                       route::DirectionalShortestPaths paths(
+                           row, route::HopWeights{});
+                       g_sink = paths.cost(0, n - 1);
+                     }
+                     run.set_items(kIters);
+                   });
+  }
+  for (const int n : {8, 32}) {
+    register_bench("micro_core", "matrix_decode_" + std::to_string(n),
+                   n == 8 ? "smoke" : "", [n](BenchRun& run) {
+                     Rng rng(1);
+                     const auto m =
+                         topo::ConnectionMatrix::random(n, 4, rng, 0.5);
+                     constexpr int kIters = 50;
+                     for (int i = 0; i < kIters; ++i) {
+                       auto row = m.decode();
+                       g_sink = static_cast<double>(row.size());
+                     }
+                     run.set_items(kIters);
+                   });
+  }
+  register_bench("micro_core", "matrix_encode_8", "smoke", [](BenchRun& run) {
+    const topo::RowTopology row = sample_row(8, 4);
+    constexpr int kIters = 50;
+    for (int i = 0; i < kIters; ++i) {
+      auto m = topo::ConnectionMatrix::encode(row, 4);
+      g_sink = static_cast<double>(m.decode().size());
+    }
+    run.set_items(kIters);
+  });
+  for (const int n : {8, 16, 32}) {
+    register_bench("micro_core", "objective_evaluate_" + std::to_string(n),
+                   n == 8 ? "smoke" : "", [n](BenchRun& run) {
+                     const core::RowObjective obj(n, route::HopWeights{});
+                     const topo::RowTopology row = sample_row(n, 4);
+                     constexpr int kIters = 20;
+                     for (int i = 0; i < kIters; ++i)
+                       g_sink = obj.evaluate(row);
+                     run.set_items(kIters);
+                   });
+  }
+  for (const int n : {8, 16}) {
+    register_bench("micro_core", "sa_moves_" + std::to_string(n),
+                   n == 8 ? "smoke" : "", [n](BenchRun& run) {
+                     const core::RowObjective obj(n, route::HopWeights{});
+                     Rng rng(3);
+                     core::SaParams params;
+                     params.total_moves = 100;
+                     params.moves_per_cool = 25;
+                     const auto initial =
+                         topo::ConnectionMatrix::random(n, 4, rng, 0.5);
+                     Rng move_rng(7);
+                     const auto result = core::anneal_connection_matrix(
+                         initial, obj, params, move_rng);
+                     g_sink = result.best_value;
+                     run.set_items(params.total_moves);
+                     run.set_counter("best_value", result.best_value);
+                   });
+  }
+  for (const int n : {8, 16, 32}) {
+    register_bench("micro_core", "dnc_initializer_" + std::to_string(n),
+                   n == 8 ? "smoke" : "", [n](BenchRun& run) {
+                     const core::RowObjective obj(n, route::HopWeights{});
+                     const auto result = core::dnc_initial_solution(obj, 4);
+                     g_sink = result.value;
+                     run.set_counter("value", result.value);
+                   });
+  }
+  for (const int n : {4, 6, 8}) {
+    register_bench("micro_core", "branch_bound_" + std::to_string(n),
+                   n == 4 ? "smoke" : "", [n](BenchRun& run) {
+                     const core::RowObjective obj(n, route::HopWeights{});
+                     core::BranchAndBound bb(obj, 2);
+                     const auto result = bb.solve();
+                     g_sink = result.value;
+                     run.set_counter("value", result.value);
+                   });
+  }
+}
+
+void register_sim() {
+  // Simulator throughput on the two fixed designs. Short windows keep the
+  // smoke run cheap; both rates and the deterministic packet counters land
+  // in BENCH_sim.json.
+  const auto simulate = [](const topo::ExpressMesh& design, BenchRun& run) {
+    sim::SimConfig config = exp::default_sim_config(11);
+    config.warmup_cycles = 500;
+    config.measure_cycles = 2000;
+    config.drain_cycles = 8000;
+    const auto demand = traffic::TrafficMatrix::from_pattern(
+        traffic::Pattern::kUniformRandom, 8, 0.02);
+    const auto stats = exp::simulate_design(design, demand, config);
+    const long cycles = config.warmup_cycles + config.measure_cycles;
+    run.set_rate("simulated_cycles", static_cast<double>(cycles));
+    run.set_rate("packets", static_cast<double>(stats.packets_finished));
+    run.set_counter("packets_finished",
+                    static_cast<double>(stats.packets_finished));
+    run.set_counter("avg_latency", stats.avg_latency);
+  };
+  register_bench("sim", "mesh_8x8_ur", "smoke", [simulate](BenchRun& run) {
+    simulate(topo::make_mesh(8), run);
+  });
+  register_bench("sim", "hfb_8x8_ur", "smoke", [simulate](BenchRun& run) {
+    simulate(exp::fixed_designs(8)[1].design, run);
+  });
+}
+
+double design_latency(const topo::RowTopology& row, int limit, int n) {
+  const auto design = topo::make_design(row, limit);
+  return core::evaluate_design(design,
+                               latency::LatencyParams::parsec_typical(),
+                               traffic::parsec_average_matrix(n))
+      .total();
+}
+
+// One Fig. 7 series: latency of D&C_SA vs OnlySA at equal evaluation
+// budgets, normalized to the initializer cost I(n,4). The whole series is
+// the benchmark's payload; the timed quantity is the full experiment.
+void fig07_series(int n, const std::vector<double>& budgets, double scale,
+                  int seeds, BenchRun& run) {
+  constexpr int kLimit = 4;
+  const core::RowObjective objective(n, route::HopWeights{});
+  const core::PlacementResult dnc = core::solve_dnc_only(objective, kLimit);
+  const double unit = static_cast<double>(dnc.evaluations);
+
+  obs::Json points = obs::Json::array();
+  for (const double budget_units : budgets) {
+    const long budget_evals =
+        std::max<long>(1, static_cast<long>(budget_units * unit * scale));
+    const long dcsa_moves =
+        std::max<long>(0, budget_evals - dnc.evaluations);
+    const long only_moves = budget_evals;
+
+    double dcsa_sum = 0.0, only_sum = 0.0;
+    for (int seed = 0; seed < seeds; ++seed) {
+      Rng r1(static_cast<std::uint64_t>(seed * 17 + n));
+      Rng r2(static_cast<std::uint64_t>(seed * 31 + n + 1));
+      const auto dcsa = core::solve_dcsa(
+          objective, kLimit,
+          exp::paper_sa_params().with_moves(std::max<long>(1, dcsa_moves)),
+          r1);
+      const auto only = core::solve_only_sa(
+          objective, kLimit, exp::paper_sa_params().with_moves(only_moves),
+          r2);
+      dcsa_sum += design_latency(dcsa.placement, kLimit, n);
+      only_sum += design_latency(only.placement, kLimit, n);
+    }
+    points.push(obs::Json::object()
+                    .set("runtime_units", budget_units)
+                    .set("budget_evals", budget_evals)
+                    .set("dcsa_latency", dcsa_sum / seeds)
+                    .set("onlysa_latency", only_sum / seeds));
+  }
+  run.set_counter("unit_evals", unit);
+  run.set_payload(obs::Json::object()
+                      .set("figure", "fig07")
+                      .set("n", n)
+                      .set("unit_evals", static_cast<long>(unit))
+                      .set("points", std::move(points)));
+}
+
+void register_fig07() {
+  register_bench("fig07_runtime", "smoke_8x8", "smoke", [](BenchRun& run) {
+    fig07_series(8, {1.0, 5.0, 30.0}, 0.05, 1, run);
+  });
+  const std::vector<double> full = {1.0,   2.0,   5.0,   10.0,
+                                    30.0, 100.0, 300.0, 1000.0};
+  for (const int n : {8, 16}) {
+    register_bench("fig07_runtime",
+                   std::to_string(n) + "x" + std::to_string(n), "full",
+                   [n, full](BenchRun& run) {
+                     fig07_series(n, full, exp::bench_scale(), 3, run);
+                   });
+  }
+}
+
+// One scalability point: full C sweep at size n, reporting the optimizer
+// cost (evaluations) and the latency reduction against the plain mesh.
+void scalability_point(int n, long moves, BenchRun& run) {
+  core::SweepOptions options;
+  options.sa = exp::paper_sa_params().with_moves(moves);
+  options.latency = latency::LatencyParams::zero_load();
+
+  Rng rng(static_cast<std::uint64_t>(77 + n));
+  const auto points = core::sweep_link_limits(n, options, rng);
+  const auto& best = points[core::best_point(points)];
+
+  long evals = 0;
+  for (const auto& p : points) evals += p.placement.evaluations;
+  const double mesh_total =
+      core::evaluate_design(topo::make_mesh(n), options.latency, {}).total();
+
+  run.set_rate("evaluations", static_cast<double>(evals));
+  run.set_counter("evals", static_cast<double>(evals));
+  run.set_counter("mesh_total", mesh_total);
+  run.set_counter("best_total", best.breakdown.total());
+  run.set_counter("best_c", best.link_limit);
+  run.set_counter("reduction_pct",
+                  -percent_change(best.breakdown.total(), mesh_total));
+}
+
+void register_scalability() {
+  for (const int n : {4, 8, 16, 24, 32}) {
+    const long moves = std::max<long>(
+        200, static_cast<long>(10000 * exp::bench_scale()));
+    register_bench("scalability",
+                   "sweep_" + std::to_string(n) + "x" + std::to_string(n),
+                   n == 4 ? "smoke" : "full", [n, moves](BenchRun& run) {
+                     scalability_point(n, n == 4 ? 200 : moves, run);
+                   });
+  }
+}
+
+void fault_point(const exp::FaultCampaignConfig& config, BenchRun& run) {
+  const exp::FaultCampaignResult result = exp::run_fault_campaign(config);
+  for (const auto& d : result.designs) {
+    const double slowdown =
+        d.degraded_mean > 0.0 ? d.degraded_mean / d.baseline_latency : 0.0;
+    run.set_counter(d.name + "_slowdown", slowdown);
+    run.set_counter(d.name + "_lost", static_cast<double>(d.lost_total));
+  }
+  run.set_payload(result.to_json());
+}
+
+void register_fault_campaign() {
+  register_bench("fault_campaign", "smoke_8x8", "smoke", [](BenchRun& run) {
+    exp::FaultCampaignConfig config;
+    config.n = 8;
+    config.link_limit = 4;
+    config.kill_links = 1;
+    config.trials = 2;
+    config.fault_cycle = 1000;
+    fault_point(config, run);
+  });
+  register_bench("fault_campaign", "8x8_c4", "full", [](BenchRun& run) {
+    exp::FaultCampaignConfig config;
+    config.n = 8;
+    config.link_limit = 4;
+    config.kill_links = 1;
+    config.trials = 10;
+    config.fault_cycle = 2000;
+    fault_point(config, run);
+  });
+}
+
+}  // namespace
+
+void register_all_suites() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  register_micro_core();
+  register_sim();
+  register_fig07();
+  register_scalability();
+  register_fault_campaign();
+}
+
+}  // namespace xlp::bench

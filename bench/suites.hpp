@@ -1,0 +1,18 @@
+#pragma once
+
+namespace xlp::bench {
+
+/// Registers every benchmark suite with Registry::global(). Registration
+/// is explicit — call this from main() (the standalone bench binaries and
+/// `xlp bench` both do) — so nothing depends on static-initializer order
+/// or on the linker keeping unreferenced objects alive.
+///
+/// Suites:
+///   micro_core     — optimizer/routing kernels (ns/op)
+///   sim            — flit simulator throughput (cycles/sec, packets/sec)
+///   fig07_runtime  — Fig. 7 quality-vs-budget series (payload)
+///   scalability    — sweep cost/benefit vs network size
+///   fault_campaign — Monte Carlo fault-resilience campaign
+void register_all_suites();
+
+}  // namespace xlp::bench

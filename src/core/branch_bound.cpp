@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "obs/profiler.hpp"
 #include "util/check.hpp"
 
 namespace xlp::core {
@@ -34,6 +35,7 @@ double BranchAndBound::direct_connection_bound() const {
 }
 
 ExactResult BranchAndBound::solve() {
+  const obs::ProfileScope profile_scope("bb.solve");
   best_value_ = objective_.evaluate(current_);
   best_ = current_;
   nodes_ = 0;

@@ -4,6 +4,7 @@
 
 #include "core/branch_bound.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "util/check.hpp"
 
 namespace xlp::core {
@@ -24,6 +25,7 @@ topo::RowTopology solve_recursive(const RowObjective& objective,
   const int n = objective.row_size();
   if (link_limit <= 1 || n <= 2) return topo::RowTopology(n);
   if (n <= options.bb_threshold) {
+    const obs::ProfileScope leaf_scope("dnc.bb_leaf");
     BranchAndBound bb(objective, link_limit);
     return bb.solve().placement;
   }
@@ -44,6 +46,7 @@ topo::RowTopology solve_recursive(const RowObjective& objective,
 
   const topo::RowTopology base = concat_halves(left, right, n);
 
+  const obs::ProfileScope merge_scope("dnc.merge");
   topo::RowTopology best = base;  // the adjacent pair (half-1, half) case
   double best_value = objective.evaluate(base);
   for (int i = 0; i < half; ++i) {
@@ -69,6 +72,7 @@ DncResult dnc_initial_solution(const RowObjective& objective, int link_limit,
   auto& metrics = obs::MetricsRegistry::global();
   metrics.add("core.dnc.runs");
   const obs::ScopedTimer timer(metrics, "core.dnc.seconds");
+  const obs::ProfileScope profile_scope("dnc.initial");
   topo::RowTopology placement =
       solve_recursive(objective, link_limit, options);
   XLP_CHECK(placement.fits_link_limit(link_limit),

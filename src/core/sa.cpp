@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "util/check.hpp"
 
 namespace xlp::core {
@@ -19,6 +20,7 @@ SaResult anneal_connection_matrix(const topo::ConnectionMatrix& initial,
 
   const obs::ScopedTimer run_timer(obs::MetricsRegistry::global(),
                                    "core.sa.seconds");
+  const obs::ProfileScope profile_scope("sa.anneal");
 
   topo::ConnectionMatrix current = initial;
   double current_value = objective.evaluate(current.decode());
@@ -38,7 +40,11 @@ SaResult anneal_connection_matrix(const topo::ConnectionMatrix& initial,
     const int bit = static_cast<int>(
         rng.uniform_below(static_cast<std::uint64_t>(current.bit_count())));
     current.flip_flat(bit);
-    const double candidate_value = objective.evaluate(current.decode());
+    double candidate_value;
+    {
+      const obs::ProfileScope eval_scope("sa.evaluate");
+      candidate_value = objective.evaluate(current.decode());
+    }
     const double delta = candidate_value - current_value;
 
     bool accept = delta <= 0.0;

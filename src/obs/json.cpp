@@ -172,6 +172,8 @@ class Parser {
     return value;
   }
 
+  [[nodiscard]] std::size_t pos() const noexcept { return pos_; }
+
  private:
   void skip_ws() {
     while (pos_ < text_.size() &&
@@ -352,6 +354,17 @@ class Parser {
 
 std::optional<Json> Json::parse(const std::string& text) {
   return Parser(text).parse_document();
+}
+
+std::optional<Json> Json::parse(const std::string& text,
+                                std::size_t* error_offset) {
+  // Failure always unwinds immediately (every production returns nullopt
+  // without consuming further input), so the cursor position after a
+  // failed parse is the point the grammar stopped matching.
+  Parser parser(text);
+  auto value = parser.parse_document();
+  if (!value && error_offset != nullptr) *error_offset = parser.pos();
+  return value;
 }
 
 }  // namespace xlp::obs

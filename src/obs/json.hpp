@@ -88,8 +88,15 @@ class Json {
   /// Parses one JSON document; nullopt on any syntax error or trailing
   /// garbage. Accepts the full scalar/array/object grammar emitted by
   /// dump() (no \u surrogate pairs beyond the BMP; \uXXXX is decoded to
-  /// UTF-8).
+  /// UTF-8). Non-finite numbers never appear: dump() writes NaN/Inf as
+  /// `null`, so every emitted document re-parses.
   [[nodiscard]] static std::optional<Json> parse(const std::string& text);
+
+  /// Like parse(), but on failure stores the 0-based character offset
+  /// where parsing stopped into `*error_offset` (the offending character,
+  /// or text.size() for premature end of input). Untouched on success.
+  [[nodiscard]] static std::optional<Json> parse(const std::string& text,
+                                                 std::size_t* error_offset);
 
  private:
   void dump_to(std::string& out) const;

@@ -1,8 +1,18 @@
 #include "obs/metrics.hpp"
 
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 
 namespace xlp::obs {
+
+bool ensure_parent_dir(const std::string& path) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) return true;
+  std::error_code ec;
+  std::filesystem::create_directories(parent, ec);  // ok when already there
+  return !ec;
+}
 
 void MetricsRegistry::add(const std::string& name, long delta) {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -19,6 +29,14 @@ void MetricsRegistry::record_time(const std::string& name, double seconds) {
   TimerStat& stat = timers_[name];
   stat.seconds += seconds;
   ++stat.count;
+}
+
+void MetricsRegistry::record_samples(const std::string& name, double seconds,
+                                     long count) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  TimerStat& stat = timers_[name];
+  stat.seconds += seconds;
+  stat.count += count;
 }
 
 long MetricsRegistry::counter(const std::string& name) const {
@@ -64,6 +82,7 @@ Json MetricsRegistry::to_json() const {
 }
 
 bool MetricsRegistry::write_json_file(const std::string& path) const {
+  if (!ensure_parent_dir(path)) return false;
   std::ofstream out(path);
   if (!out.good()) return false;
   out << to_json().dump() << '\n';

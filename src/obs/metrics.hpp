@@ -10,6 +10,12 @@
 
 namespace xlp::obs {
 
+/// Creates any missing parent directories of `path` so a subsequent open
+/// for writing can succeed (no-op when the path has no directory
+/// component). Returns false, without throwing, when creation failed —
+/// shared by every best-effort telemetry writer.
+bool ensure_parent_dir(const std::string& path);
+
 /// Accumulated wall-time statistic for one named timer.
 struct TimerStat {
   double seconds = 0.0;
@@ -33,6 +39,9 @@ class MetricsRegistry {
   void set_gauge(const std::string& name, double value);
   /// Accumulates one wall-time sample into the named timer.
   void record_time(const std::string& name, double seconds);
+  /// Accumulates a pre-aggregated batch: `seconds` of total wall time
+  /// spread over `count` samples (used when folding profiler scopes in).
+  void record_samples(const std::string& name, double seconds, long count);
 
   [[nodiscard]] long counter(const std::string& name) const;
   [[nodiscard]] double gauge(const std::string& name) const;

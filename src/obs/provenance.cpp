@@ -1,0 +1,85 @@
+#include "obs/provenance.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace xlp::obs {
+
+namespace {
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return std::string("gcc ") + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+std::string build_flags() {
+#ifdef XLP_BUILD_FLAGS
+  return XLP_BUILD_FLAGS;
+#else
+  return "";
+#endif
+}
+
+std::string host_name() {
+#ifndef _WIN32
+  char buf[256] = {};
+  if (gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0')
+    return std::string(buf);
+#endif
+  return "unknown";
+}
+
+std::string git_head() {
+  if (const char* pinned = std::getenv("XLP_GIT_SHA");
+      pinned != nullptr && pinned[0] != '\0')
+    return pinned;
+#ifndef _WIN32
+  FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r");
+  if (pipe != nullptr) {
+    char buf[64] = {};
+    const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, pipe);
+    ::pclose(pipe);
+    std::string sha(buf, n);
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
+      sha.pop_back();
+    if (sha.size() == 40) return sha;
+  }
+#endif
+  return "unknown";
+}
+
+}  // namespace
+
+Provenance Provenance::collect(std::uint64_t seed) {
+  Provenance p;
+  p.git_sha = git_head();
+  p.compiler = compiler_id();
+  p.flags = build_flags();
+  p.hostname = host_name();
+  p.seed = seed;
+  return p;
+}
+
+Json Provenance::to_json() const {
+  return Json::object()
+      .set("git_sha", git_sha)
+      .set("compiler", compiler)
+      .set("flags", flags)
+      .set("hostname", hostname)
+      .set("seed", static_cast<long>(seed));
+}
+
+}  // namespace xlp::obs

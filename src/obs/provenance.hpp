@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace xlp::obs {
+
+/// Identity stamp for a measured run: enough to tell whether two BENCH
+/// documents are comparable (same code, same compiler, same machine) and
+/// to reproduce one (seed). Fields are plain data so tests can pin them;
+/// collect() fills them from the build and the environment.
+struct Provenance {
+  std::string git_sha = "unknown";   // HEAD commit, or "unknown"
+  std::string compiler = "unknown";  // e.g. "gcc 13.2.0"
+  std::string flags;                 // compile flags baked in by CMake
+  std::string hostname = "unknown";
+  std::uint64_t seed = 0;
+
+  /// Build-time facts from compiler macros plus runtime facts from the
+  /// environment. The git sha comes from the XLP_GIT_SHA environment
+  /// variable when set (CI pins it), else from `git rev-parse HEAD` run in
+  /// the current directory, else stays "unknown" — never throws.
+  [[nodiscard]] static Provenance collect(std::uint64_t seed);
+
+  /// {"git_sha": ..., "compiler": ..., "flags": ..., "hostname": ...,
+  ///  "seed": ...} in that fixed order.
+  [[nodiscard]] Json to_json() const;
+};
+
+}  // namespace xlp::obs

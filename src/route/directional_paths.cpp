@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/profiler.hpp"
 #include "util/check.hpp"
 
 namespace xlp::route {
@@ -52,6 +53,7 @@ DirectionalShortestPaths::DirectionalShortestPaths(
 void DirectionalShortestPaths::compute(
     const std::vector<std::vector<int>>& right,
     const std::vector<std::vector<int>>& left) {
+  const obs::ProfileScope profile_scope("route.monotone_sp");
   for (int i = 0; i < n_; ++i) {
     cost_[idx(i, i)] = 0.0;
     hops_[idx(i, i)] = 0;

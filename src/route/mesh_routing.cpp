@@ -1,5 +1,6 @@
 #include "route/mesh_routing.hpp"
 
+#include "obs/profiler.hpp"
 #include "util/check.hpp"
 
 namespace xlp::route {
@@ -8,10 +9,16 @@ MeshRouting::MeshRouting(const topo::ExpressMesh& mesh, HopWeights weights)
     : width_(mesh.width()), height_(mesh.height()) {
   row_paths_.reserve(static_cast<std::size_t>(height_));
   col_paths_.reserve(static_cast<std::size_t>(width_));
-  for (int y = 0; y < height_; ++y)
-    row_paths_.emplace_back(mesh.row(y), weights);
-  for (int x = 0; x < width_; ++x)
-    col_paths_.emplace_back(mesh.col(x), weights);
+  {
+    const obs::ProfileScope rows_scope("route.fw_rows");
+    for (int y = 0; y < height_; ++y)
+      row_paths_.emplace_back(mesh.row(y), weights);
+  }
+  {
+    const obs::ProfileScope cols_scope("route.fw_cols");
+    for (int x = 0; x < width_; ++x)
+      col_paths_.emplace_back(mesh.col(x), weights);
+  }
 }
 
 MeshRouting::MeshRouting(std::vector<DirectionalShortestPaths> row_paths,

@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "fault/reroute.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "route/deadlock.hpp"
 #include "util/check.hpp"
@@ -526,6 +527,7 @@ SimStats Simulator::run() {
                        config_.trace_interval_cycles > 0;
 
   std::sort(scheduled_.begin(), scheduled_.end());
+  const obs::ProfileScope run_scope("sim.run");
   for (cycle_ = 0; cycle_ < hard_end; ++cycle_) {
     if (cycle_ >= measure_end && outstanding_measured_ == 0 &&
         next_scheduled_ >= scheduled_.size())
@@ -538,19 +540,34 @@ SimStats Simulator::run() {
           !injection_in_progress())
         perform_swap();
     }
-    deliver_channel_arrivals();
-    deliver_credits();
-    while (next_scheduled_ < scheduled_.size() &&
-           std::get<0>(scheduled_[next_scheduled_]) <= cycle_) {
-      const auto [when, src, dst, bits] = scheduled_[next_scheduled_++];
-      create_packet(src, dst, bits);
+    {
+      // Link/credit traversal: flits and credits finishing their wires.
+      const obs::ProfileScope phase("sim.traverse");
+      deliver_channel_arrivals();
+      deliver_credits();
     }
-    for (int node = 0; node < nodes; ++node) {
-      generate_traffic(node);
-      inject(node);
+    {
+      const obs::ProfileScope phase("sim.inject");
+      while (next_scheduled_ < scheduled_.size() &&
+             std::get<0>(scheduled_[next_scheduled_]) <= cycle_) {
+        const auto [when, src, dst, bits] = scheduled_[next_scheduled_++];
+        create_packet(src, dst, bits);
+      }
+      for (int node = 0; node < nodes; ++node) {
+        generate_traffic(node);
+        inject(node);
+      }
     }
-    for (int r = 0; r < nodes; ++r) allocate(r);
-    for (int r = 0; r < nodes; ++r) arbitrate(r);
+    {
+      // Route computation + VC allocation for every head flit.
+      const obs::ProfileScope phase("sim.route_vc_alloc");
+      for (int r = 0; r < nodes; ++r) allocate(r);
+    }
+    {
+      // Switch allocation + the grant's crossbar/link traversal.
+      const obs::ProfileScope phase("sim.sw_alloc");
+      for (int r = 0; r < nodes; ++r) arbitrate(r);
+    }
   }
   activity_.measured_cycles = config_.measure_cycles;
   SimStats stats = finalize();

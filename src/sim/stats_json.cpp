@@ -2,6 +2,8 @@
 
 #include <fstream>
 
+#include "obs/metrics.hpp"
+
 namespace xlp::sim {
 
 obs::Json stats_to_json(const SimStats& stats) {
@@ -52,6 +54,7 @@ obs::Json stats_to_json(const SimStats& stats) {
 }
 
 bool write_stats_json(const SimStats& stats, const std::string& path) {
+  if (!obs::ensure_parent_dir(path)) return false;
   std::ofstream out(path);
   if (!out.good()) return false;
   out << stats_to_json(stats).dump() << '\n';

@@ -1,8 +1,10 @@
 #include "util/csv.hpp"
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <ostream>
+#include <system_error>
 
 #include "util/check.hpp"
 
@@ -49,6 +51,15 @@ void CsvWriter::write(std::ostream& os) const {
 }
 
 bool CsvWriter::write_file(const std::string& path) const {
+  // Best-effort like the JSON writers: create missing parent directories
+  // rather than failing silently on a fresh output tree.
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) return false;
+  }
   std::ofstream out(path);
   if (!out.good()) return false;
   write(out);

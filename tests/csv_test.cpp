@@ -50,9 +50,24 @@ TEST(Csv, WriteFileRoundTrip) {
   EXPECT_EQ(buffer.str(), "x\n42\n");
 }
 
-TEST(Csv, WriteFileFailsGracefully) {
+TEST(Csv, WriteFileCreatesMissingParentDirectories) {
   CsvWriter csv({"x"});
-  EXPECT_FALSE(csv.write_file("/nonexistent_dir_zzz/file.csv"));
+  csv.add_row({"7"});
+  const std::string path =
+      testing::TempDir() + "/xlp_csv_deep/nested/file.csv";
+  ASSERT_TRUE(csv.write_file(path));
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+}
+
+TEST(Csv, WriteFileFailsGracefully) {
+  // A regular file in the middle of the path cannot be turned into a
+  // directory, so this fails even for privileged users (unlike a merely
+  // missing directory, which write_file now creates).
+  const std::string blocker = testing::TempDir() + "/xlp_csv_blocker";
+  { std::ofstream(blocker) << "not a directory"; }
+  CsvWriter csv({"x"});
+  EXPECT_FALSE(csv.write_file(blocker + "/sub/file.csv"));
 }
 
 TEST(Csv, OutputDirFromEnvironment) {

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <fstream>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -160,6 +163,40 @@ TEST(Json, ParseRejectsMalformedDocuments) {
   }
 }
 
+TEST(Json, ParseReportsErrorOffset) {
+  struct Case {
+    const char* text;
+    std::size_t offset;
+  };
+  // The offset points at the offending token (start of a bad literal), or
+  // at text.size() when the document ends prematurely.
+  for (const Case c : {Case{"{", 1}, Case{"[1,]", 3}, Case{"{\"a\":}", 5},
+                       Case{"1 2", 2}, Case{"tru", 0}}) {
+    std::size_t offset = 9999;
+    EXPECT_FALSE(Json::parse(c.text, &offset).has_value()) << c.text;
+    EXPECT_EQ(offset, c.offset) << c.text;
+  }
+  // Untouched on success.
+  std::size_t offset = 9999;
+  EXPECT_TRUE(Json::parse("{\"a\":1}", &offset).has_value());
+  EXPECT_EQ(offset, 9999u);
+  // And a null pointer is allowed.
+  EXPECT_FALSE(Json::parse("{", nullptr).has_value());
+}
+
+TEST(Json, DumpsNonFiniteNumbersAsNull) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(Json(nan).dump(), "null");
+  EXPECT_EQ(Json(inf).dump(), "null");
+  EXPECT_EQ(Json(-inf).dump(), "null");
+  // Inside a document the member survives as null, so every emitted
+  // document re-parses.
+  const Json doc = Json::object().set("bad", Json(nan)).set("good", 1.5);
+  EXPECT_EQ(doc.dump(), "{\"bad\":null,\"good\":1.5}");
+  EXPECT_TRUE(Json::parse(doc.dump()).has_value());
+}
+
 TEST(Json, ParseAcceptsWhitespaceAndUnicodeEscapes) {
   const auto parsed = Json::parse("  { \"a\" : [ 1 , \"\\u0041\" ] }  ");
   ASSERT_TRUE(parsed.has_value());
@@ -173,6 +210,27 @@ TEST(Json, TypeMismatchesThrow) {
   EXPECT_THROW((void)Json::object().at(0), PreconditionError);
   EXPECT_THROW(Json().set("k", Json()), PreconditionError);
   EXPECT_THROW(Json().push(Json()), PreconditionError);
+}
+
+TEST(Metrics, WriteJsonFileCreatesMissingParentDirectories) {
+  MetricsRegistry reg;
+  reg.add("runs");
+  const std::string path =
+      ::testing::TempDir() + "xlp_obs_nested/deeper/metrics.json";
+  ASSERT_TRUE(reg.write_json_file(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const auto parsed = Json::parse(buffer.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("counters")->find("runs")->as_long(), 1);
+}
+
+TEST(Metrics, EnsureParentDirHandlesPlainFilenames) {
+  // No directory component: nothing to create, must succeed.
+  EXPECT_TRUE(ensure_parent_dir("just_a_name.json"));
+  EXPECT_TRUE(ensure_parent_dir(::testing::TempDir() + "xlp_obs_flat.json"));
 }
 
 TEST(Trace, NullSinkIsDisabledNoOp) {

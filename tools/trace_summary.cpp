@@ -47,8 +47,15 @@ int main(int argc, char** argv) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     ++lines;
-    const auto record = obs::Json::parse(line);
-    if (!record || !record->is_object()) {
+    std::size_t offset = 0;
+    const auto record = obs::Json::parse(line, &offset);
+    if (!record) {
+      std::fprintf(stderr,
+                   "error: line %ld: JSON syntax error at character %zu\n",
+                   lines, offset);
+      return 1;
+    }
+    if (!record->is_object()) {
       std::fprintf(stderr, "error: line %ld is not a JSON object\n", lines);
       return 1;
     }

@@ -16,6 +16,10 @@
 //                 [--recover-at -1] [--trials 10] [--load 0.02]
 //                 [--policy drop|drain] [--retries 3] [--rel-weight 0.3]
 //                 [--seed 1] [--json campaign.json]
+//   xlp bench     [--filter re] [--repeats 5] [--warmup 1] [--out-dir .]
+//                 [--profile out.folded] [--deterministic] [--list]
+//                 (runs the registered benchmark suites, writes one
+//                 schema-versioned BENCH_<suite>.json per suite)
 //
 // Telemetry (see docs/observability.md):
 //   --trace <file.jsonl>   structured JSONL trace (SA cooling steps on
@@ -28,6 +32,7 @@
 // Every subcommand prints a short human-readable report; exit code 0 on
 // success, 1 on usage errors.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -36,6 +41,8 @@
 #include <string>
 
 #include "core/app_specific.hpp"
+#include "harness.hpp"
+#include "suites.hpp"
 #include "core/branch_bound.hpp"
 #include "core/c_sweep.hpp"
 #include "core/drivers.hpp"
@@ -62,7 +69,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: xlp <solve|sweep|simulate|trace|replay|appspec|run|"
-               "faults> "
+               "faults|bench> "
                "[options]\n(see the header of tools/xlp_cli.cpp for the "
                "full option list)\n");
   return 1;
@@ -75,6 +82,7 @@ class TraceOutput {
  public:
   explicit TraceOutput(const Args& args) : path_(args.get_or("trace", "")) {
     if (path_.empty()) return;
+    obs::ensure_parent_dir(path_);
     stream_.open(path_);
     XLP_REQUIRE(stream_.good(), "cannot open " + path_);
     sink_ = std::make_unique<obs::JsonlTraceSink>(stream_);
@@ -405,6 +413,7 @@ int cmd_faults(const Args& args) {
 
   if (const std::string json_path = args.get_or("json", "");
       !json_path.empty()) {
+    obs::ensure_parent_dir(json_path);
     std::ofstream out(json_path);
     XLP_REQUIRE(out.good(), "cannot open " + json_path);
     out << result.to_json().dump() << "\n";
@@ -435,6 +444,22 @@ int cmd_appspec(const Args& args) {
   return 0;
 }
 
+int cmd_bench(const Args& args) {
+  bench::register_all_suites();
+  bench::RunnerOptions options;
+  options.filter = args.get_or("filter", "");
+  options.repeats =
+      std::max(1, static_cast<int>(args.get_long("repeats", 5)));
+  options.warmup = std::max(0, static_cast<int>(args.get_long("warmup", 1)));
+  options.out_dir = args.get_or("out-dir", ".");
+  options.deterministic = args.has("deterministic");
+  options.provenance =
+      obs::Provenance::collect(static_cast<std::uint64_t>(
+          args.get_long("seed", 0)));
+  return bench::run_and_report(options, args.get_or("profile", ""),
+                               args.has("list"));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -452,6 +477,7 @@ int main(int argc, char** argv) {
     else if (command == "appspec") rc = cmd_appspec(args);
     else if (command == "run") rc = cmd_run(args);
     else if (command == "faults") rc = cmd_faults(args);
+    else if (command == "bench") rc = cmd_bench(args);
     else return usage();
 
     // Global telemetry flag: dump the process-wide metrics registry
