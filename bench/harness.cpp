@@ -4,11 +4,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <regex>
 
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "util/fsio.hpp"
 
 namespace xlp::bench {
 
@@ -204,11 +204,10 @@ std::string write_bench_json(const std::string& dir, const std::string& name,
   std::string path = dir.empty() ? std::string(".") : dir;
   if (path.back() != '/') path += '/';
   path += "BENCH_" + name + ".json";
-  if (!obs::ensure_parent_dir(path)) return {};
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return {};
-  out << doc.dump() << '\n';
-  return out ? path : std::string{};
+  // Atomic write: bench_diff and CI gates read these files, and a run
+  // killed mid-write must not leave a truncated baseline behind.
+  if (!util::atomic_write_file(path, doc.dump() + "\n")) return {};
+  return path;
 }
 
 std::string write_artifact(const std::string& dir, const std::string& name,
@@ -242,17 +241,10 @@ int run_and_report(const RunnerOptions& options,
   if (!profile_path.empty()) {
     obs::Profiler::disable();
     const auto report = obs::Profiler::snapshot();
-    if (!obs::ensure_parent_dir(profile_path)) {
-      std::fprintf(stderr, "error: cannot create directory for %s\n",
-                   profile_path.c_str());
+    if (!util::atomic_write_file(profile_path, report.to_collapsed())) {
+      std::fprintf(stderr, "error: cannot write %s\n", profile_path.c_str());
       return 1;
     }
-    std::ofstream out(profile_path, std::ios::trunc);
-    if (!out) {
-      std::fprintf(stderr, "error: cannot open %s\n", profile_path.c_str());
-      return 1;
-    }
-    out << report.to_collapsed();
     std::fprintf(stderr, "[bench] wrote profile %s\n", profile_path.c_str());
   }
   return 0;

@@ -7,10 +7,12 @@
 
 namespace xlp::core {
 
-BranchAndBound::BranchAndBound(const RowObjective& objective, int link_limit)
+BranchAndBound::BranchAndBound(const RowObjective& objective, int link_limit,
+                               runctl::RunControl* control)
     : objective_(objective),
       n_(objective.row_size()),
       link_limit_(link_limit),
+      control_(control),
       cut_express_(static_cast<std::size_t>(n_ > 1 ? n_ - 1 : 0), 0),
       current_(n_),
       best_(n_),
@@ -39,11 +41,19 @@ ExactResult BranchAndBound::solve() {
   best_value_ = objective_.evaluate(current_);
   best_ = current_;
   nodes_ = 0;
+  stopped_ = false;
   dfs(0);
-  return {best_, best_value_, nodes_};
+  ExactResult result{best_, best_value_, nodes_};
+  if (stopped_ && control_ != nullptr) result.status = control_->status();
+  return result;
 }
 
 void BranchAndBound::dfs(std::size_t next_candidate) {
+  if (stopped_) return;
+  if (control_ != nullptr && control_->stop_requested()) {
+    stopped_ = true;
+    return;
+  }
   ++nodes_;
   const double value = objective_.evaluate(current_);
   if (value < best_value_) {
@@ -55,6 +65,7 @@ void BranchAndBound::dfs(std::size_t next_candidate) {
   if (best_value_ <= lower_bound_ + 1e-12) return;
 
   for (std::size_t c = next_candidate; c < candidates_.size(); ++c) {
+    if (stopped_) return;
     const topo::RowLink link = candidates_[c];
     bool fits = true;
     for (int cut = link.lo; cut < link.hi; ++cut) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "core/objective.hpp"
+#include "runctl/control.hpp"
 #include "topo/row_topology.hpp"
 
 namespace xlp::core {
@@ -10,6 +11,10 @@ struct ExactResult {
   topo::RowTopology placement;
   double value = 0.0;
   long nodes_explored = 0;  // search-tree nodes visited
+  /// kCompleted when the tree was searched exhaustively (the placement is
+  /// provably optimal); otherwise the search was cut short and the
+  /// placement is only the best node visited.
+  runctl::RunStatus status = runctl::RunStatus::kCompleted;
 };
 
 /// Exhaustive branch-and-bound solver for the 1D placement problem
@@ -30,7 +35,11 @@ struct ExactResult {
 /// thousand placements.
 class BranchAndBound {
  public:
-  explicit BranchAndBound(const RowObjective& objective, int link_limit);
+  /// `control` (not owned, may be null) lets a deadline or interrupt cut
+  /// the search short; the result then carries the non-completed status
+  /// and loses its optimality guarantee.
+  explicit BranchAndBound(const RowObjective& objective, int link_limit,
+                          runctl::RunControl* control = nullptr);
 
   /// Runs the exact search and returns the best placement found.
   [[nodiscard]] ExactResult solve();
@@ -42,6 +51,7 @@ class BranchAndBound {
   const RowObjective& objective_;
   int n_;
   int link_limit_;
+  runctl::RunControl* control_;
   std::vector<topo::RowLink> candidates_;
   std::vector<int> cut_express_;  // express links currently crossing each cut
   topo::RowTopology current_;
@@ -49,6 +59,7 @@ class BranchAndBound {
   double best_value_;
   double lower_bound_;
   long nodes_ = 0;
+  bool stopped_ = false;
 };
 
 }  // namespace xlp::core

@@ -24,9 +24,11 @@ topo::RowTopology solve_recursive(const RowObjective& objective,
                                   int link_limit, const DncOptions& options) {
   const int n = objective.row_size();
   if (link_limit <= 1 || n <= 2) return topo::RowTopology(n);
+  if (options.control != nullptr && options.control->stop_requested())
+    return topo::RowTopology(n);  // feasible fallback: the plain row
   if (n <= options.bb_threshold) {
     const obs::ProfileScope leaf_scope("dnc.bb_leaf");
-    BranchAndBound bb(objective, link_limit);
+    BranchAndBound bb(objective, link_limit, options.control);
     return bb.solve().placement;
   }
 
@@ -50,6 +52,8 @@ topo::RowTopology solve_recursive(const RowObjective& objective,
   topo::RowTopology best = base;  // the adjacent pair (half-1, half) case
   double best_value = objective.evaluate(base);
   for (int i = 0; i < half; ++i) {
+    if (options.control != nullptr && options.control->stop_requested())
+      break;  // keep the best merge candidate evaluated so far
     for (int j = half; j < n; ++j) {
       if (j - i < 2) continue;  // adjacent: covered by the base candidate
       topo::RowTopology candidate = base;
@@ -78,7 +82,9 @@ DncResult dnc_initial_solution(const RowObjective& objective, int link_limit,
   XLP_CHECK(placement.fits_link_limit(link_limit),
             "divide-and-conquer produced an infeasible placement");
   const double value = objective.evaluate(placement);
-  return {std::move(placement), value};
+  DncResult result{std::move(placement), value};
+  if (options.control != nullptr) result.status = options.control->status();
+  return result;
 }
 
 }  // namespace xlp::core

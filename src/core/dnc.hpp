@@ -1,6 +1,7 @@
 #pragma once
 
 #include "core/objective.hpp"
+#include "runctl/control.hpp"
 #include "topo/row_topology.hpp"
 
 namespace xlp::core {
@@ -25,11 +26,19 @@ namespace xlp::core {
 /// step, each evaluated in O(n^3)).
 struct DncOptions {
   int bb_threshold = 4;  // solve exactly at or below this row size
+  /// Cooperative stop checked at every recursion level, inside the
+  /// branch-and-bound leaves and between merge candidates. Not owned; may
+  /// be null. A stopped run returns the best feasible placement assembled
+  /// so far (possibly the plain row).
+  runctl::RunControl* control = nullptr;
 };
 
 struct DncResult {
   topo::RowTopology placement;
   double value = 0.0;
+  /// kCompleted when the full recursion ran; otherwise the placement is
+  /// best-effort.
+  runctl::RunStatus status = runctl::RunStatus::kCompleted;
 };
 
 /// Runs I(n, C) for the (possibly weighted) objective; `link_limit` is C.

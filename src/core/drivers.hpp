@@ -16,6 +16,13 @@ struct PlacementResult {
   long evaluations = 0;      // objective evaluations consumed
   double seconds = 0.0;      // wall-clock time
   std::string method;
+  /// kCompleted for a full run; kDeadline / kInterrupted when a
+  /// RunControl stopped the search early (the placement is then the best
+  /// feasible solution found before the stop).
+  runctl::RunStatus status = runctl::RunStatus::kCompleted;
+  /// Engaged when an annealing phase stopped early: the state to persist
+  /// for resume_sa / `xlp run --resume`.
+  std::optional<runctl::SaCheckpoint> checkpoint;
 };
 
 /// OnlySA (Section 5.1, comparison scheme 3): simulated annealing over the
@@ -36,5 +43,15 @@ struct PlacementResult {
 [[nodiscard]] PlacementResult solve_dnc_only(const RowObjective& objective,
                                              int link_limit,
                                              const DncOptions& dnc = {});
+
+/// Continues an annealing run from a saved checkpoint. The cooling
+/// schedule is rebuilt from the checkpoint (so the trajectory matches the
+/// uninterrupted run bit-for-bit); only the runtime hooks of `hooks` —
+/// observer, control, checkpoint sink/cadence — are honoured. The
+/// objective must describe the same P(n, C) instance the checkpoint was
+/// taken for.
+[[nodiscard]] PlacementResult resume_sa(const RowObjective& objective,
+                                        const runctl::SaCheckpoint& ckpt,
+                                        const SaParams& hooks = {});
 
 }  // namespace xlp::core

@@ -79,6 +79,10 @@ NaiveSaResult anneal_naive_links(const topo::RowTopology& initial,
 
   double temperature = params.initial_temperature;
   for (long move = 0; move < params.total_moves; ++move) {
+    if (params.control != nullptr && params.control->stop_requested()) {
+      result.status = params.control->status();
+      break;
+    }
     topo::RowTopology candidate = current;
     if (!propose_naive_move(candidate, link_limit, rng)) {
       ++result.invalid_moves;

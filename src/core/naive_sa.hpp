@@ -12,6 +12,9 @@ struct NaiveSaResult {
   long moves = 0;           // moves that produced a *valid* candidate
   long invalid_moves = 0;   // candidates rejected for violating the limit
   long accepted = 0;
+  /// kCompleted unless SaParams::control stopped the loop early; the best
+  /// placement is valid either way.
+  runctl::RunStatus status = runctl::RunStatus::kCompleted;
 };
 
 /// The strawman candidate generator the paper argues against (Section

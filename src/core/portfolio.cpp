@@ -1,22 +1,74 @@
 #include "core/portfolio.hpp"
 
+#include <mutex>
 #include <thread>
 
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
+#include "util/error.hpp"
 #include "util/stopwatch.hpp"
 
 namespace xlp::core {
+
+namespace {
+
+const char* solver_name(Solver solver) noexcept {
+  switch (solver) {
+    case Solver::kOnlySa:
+      return "onlysa";
+    case Solver::kDncOnly:
+      return "dnc";
+    case Solver::kDcsa:
+    default:
+      return "dcsa";
+  }
+}
+
+runctl::RunStatus worse(runctl::RunStatus a, runctl::RunStatus b) noexcept {
+  if (a == runctl::RunStatus::kInterrupted ||
+      b == runctl::RunStatus::kInterrupted)
+    return runctl::RunStatus::kInterrupted;
+  if (a == runctl::RunStatus::kDeadline || b == runctl::RunStatus::kDeadline)
+    return runctl::RunStatus::kDeadline;
+  return runctl::RunStatus::kCompleted;
+}
+
+}  // namespace
 
 PortfolioResult solve_portfolio(
     int row_size, route::HopWeights hop_weights,
     const std::optional<std::vector<double>>& pair_weights, int link_limit,
     const PortfolioOptions& options, std::uint64_t seed) {
   XLP_REQUIRE(options.chains >= 1, "portfolio needs at least one chain");
+  XLP_REQUIRE(options.resume == nullptr ||
+                  static_cast<int>(options.resume->chain_states.size()) ==
+                      options.chains,
+              "portfolio checkpoint does not match the chain count");
 
   Stopwatch timer;
   std::vector<PlacementResult> results(
       static_cast<std::size_t>(options.chains));
+
+  // Latest per-chain annealer snapshot, fed by the checkpoint sinks. Only
+  // SA solvers produce snapshots; for kDncOnly all entries stay nullopt.
+  std::mutex ckpt_mutex;
+  std::vector<std::optional<runctl::SaCheckpoint>> latest(
+      static_cast<std::size_t>(options.chains));
+
+  const auto snapshot_portfolio = [&]() {
+    // Caller holds ckpt_mutex (or all workers have joined).
+    runctl::PortfolioCheckpoint pc;
+    pc.n = row_size;
+    pc.link_limit = link_limit;
+    pc.chains = options.chains;
+    pc.seed = seed;
+    pc.solver = solver_name(options.solver);
+    pc.schedule = {options.sa.initial_temperature, options.sa.total_moves,
+                   options.sa.cool_scale, options.sa.moves_per_cool};
+    pc.chain_states = latest;
+    return pc;
+  };
+
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(options.chains));
 
@@ -32,19 +84,51 @@ PortfolioResult solve_portfolio(
                        : RowObjective(row_size, hop_weights);
       Rng base(seed);
       Rng rng = base.fork(static_cast<std::uint64_t>(chain));
+
+      // Every worker gets a private copy of the control so the deadline
+      // poll stride is thread-local; the cancel token stays shared.
+      runctl::RunControl control = options.control;
+
+      SaParams sa = options.sa;
+      sa.control = &control;
+      sa.checkpoint_every_moves = options.checkpoint_every_moves;
+      sa.checkpoint_sink = [&, chain](const runctl::SaCheckpoint& ck) {
+        const std::lock_guard<std::mutex> lock(ckpt_mutex);
+        latest[static_cast<std::size_t>(chain)] = ck;
+        // Chain 0 is the designated writer so the file cadence does not
+        // multiply with the chain count. Periodic writes are best-effort:
+        // a full disk must not kill the search.
+        if (chain == 0 && !options.checkpoint_path.empty()) {
+          try {
+            save_portfolio_checkpoint(options.checkpoint_path,
+                                      snapshot_portfolio());
+          } catch (const Error&) {
+          }
+        }
+      };
+      DncOptions dnc = options.dnc;
+      dnc.control = &control;
+
+      const std::optional<runctl::SaCheckpoint>* resume_state = nullptr;
+      if (options.resume != nullptr)
+        resume_state =
+            &options.resume->chain_states[static_cast<std::size_t>(chain)];
+
+      auto& slot = results[static_cast<std::size_t>(chain)];
       switch (options.solver) {
         case Solver::kOnlySa:
-          results[static_cast<std::size_t>(chain)] =
-              solve_only_sa(objective, link_limit, options.sa, rng);
+          slot = (resume_state && *resume_state)
+                     ? resume_sa(objective, **resume_state, sa)
+                     : solve_only_sa(objective, link_limit, sa, rng);
           break;
         case Solver::kDncOnly:
-          results[static_cast<std::size_t>(chain)] =
-              solve_dnc_only(objective, link_limit, options.dnc);
+          slot = solve_dnc_only(objective, link_limit, dnc);
           break;
         case Solver::kDcsa:
         default:
-          results[static_cast<std::size_t>(chain)] = solve_dcsa(
-              objective, link_limit, options.sa, rng, options.dnc);
+          slot = (resume_state && *resume_state)
+                     ? resume_sa(objective, **resume_state, sa)
+                     : solve_dcsa(objective, link_limit, sa, rng, dnc);
           break;
       }
     });
@@ -58,10 +142,22 @@ PortfolioResult solve_portfolio(
   for (std::size_t chain = 0; chain < results.size(); ++chain) {
     portfolio.chain_values.push_back(results[chain].value);
     portfolio.total_evaluations += results[chain].evaluations;
+    portfolio.status = worse(portfolio.status, results[chain].status);
     if (results[chain].value < results[best].value) best = chain;
   }
   portfolio.best = std::move(results[best]);
   portfolio.best.method += "-portfolio";
+
+  const bool is_sa_solver = options.solver != Solver::kDncOnly;
+  if (is_sa_solver &&
+      portfolio.status != runctl::RunStatus::kCompleted) {
+    portfolio.checkpoint = snapshot_portfolio();
+  }
+  if (is_sa_solver && !options.checkpoint_path.empty()) {
+    // Final write (complete or not) so the file on disk always reflects
+    // the joined state; this one is allowed to throw.
+    save_portfolio_checkpoint(options.checkpoint_path, snapshot_portfolio());
+  }
 
   auto& metrics = obs::MetricsRegistry::global();
   metrics.add("core.portfolio.runs");

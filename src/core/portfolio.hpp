@@ -1,10 +1,13 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/c_sweep.hpp"  // for Solver
 #include "core/drivers.hpp"
+#include "runctl/checkpoint.hpp"
+#include "runctl/control.hpp"
 
 namespace xlp::core {
 
@@ -23,6 +26,27 @@ struct PortfolioOptions {
   SaParams sa;             // per-chain schedule
   DncOptions dnc;
   Solver solver = Solver::kDcsa;
+
+  /// Stop signal shared by every chain. Held by value: each worker copies
+  /// it (the deadline and token pointer are shared state, the poll-stride
+  /// counter inside must stay thread-local). The SaParams/DncOptions
+  /// control pointers are ignored here — the portfolio wires its own
+  /// copies.
+  runctl::RunControl control;
+
+  /// When non-empty, chain 0 periodically persists a whole-portfolio
+  /// checkpoint to this path (atomically), and a final one is written
+  /// after the chains join. checkpoint_every_moves is the per-chain sink
+  /// cadence (0 = only the final snapshot).
+  std::string checkpoint_path;
+  long checkpoint_every_moves = 0;
+
+  /// Resume from a saved portfolio state. The caller must rebuild chains /
+  /// solver / sa schedule from the checkpoint so they match; chain entries
+  /// that are nullopt (the chain never reached its annealer) restart from
+  /// scratch, which is deterministic because chain RNGs are forked from
+  /// the seed. Not owned; may be null.
+  const runctl::PortfolioCheckpoint* resume = nullptr;
 };
 
 struct PortfolioResult {
@@ -30,6 +54,12 @@ struct PortfolioResult {
   std::vector<double> chain_values;  // final value of every chain
   long total_evaluations = 0;
   double seconds = 0.0;  // wall clock for the whole portfolio
+  /// Worst chain outcome: interrupted > deadline > completed. The best
+  /// placement is feasible either way.
+  runctl::RunStatus status = runctl::RunStatus::kCompleted;
+  /// Engaged when the run stopped early (SA solvers only): the state
+  /// `xlp run --resume` continues from.
+  std::optional<runctl::PortfolioCheckpoint> checkpoint;
 };
 
 /// Solves P̄(row_size, link_limit) with a portfolio of chains. The

@@ -23,20 +23,79 @@ SaResult anneal_connection_matrix(const topo::ConnectionMatrix& initial,
   const obs::ProfileScope profile_scope("sa.anneal");
 
   topo::ConnectionMatrix current = initial;
-  double current_value = objective.evaluate(current.decode());
+  double temperature = params.initial_temperature;
+  int cooling_step = 0;
+  long window_start_move = 0;
+  long window_start_accepted = 0;
+  long start_move = 0;
+  double current_value;
 
-  SaResult result{current.decode(), current_value, current, 0, 0, 0};
+  SaResult result{current.decode(), 0.0, current, 0, 0, 0};
   result.final_temperature = params.initial_temperature;
+
+  if (params.resume != nullptr) {
+    const runctl::SaCheckpoint& ck = *params.resume;
+    XLP_REQUIRE(ck.n == initial.row_size() &&
+                    ck.link_limit == initial.link_limit(),
+                "checkpoint was taken for a different problem size");
+    current = ck.current;
+    current_value = ck.current_value;
+    rng.set_state(ck.rng_state);
+    temperature = ck.temperature;
+    cooling_step = static_cast<int>(ck.cooling_step);
+    window_start_move = ck.window_start_move;
+    window_start_accepted = ck.window_start_accepted;
+    start_move = ck.next_move;
+    result.best_matrix = ck.best;
+    result.best_value = ck.best_value;
+    result.best = result.best_matrix.decode();
+    result.moves = ck.moves;
+    result.accepted = ck.accepted;
+    result.improved = ck.improved;
+  } else {
+    current_value = objective.evaluate(current.decode());
+    result.best_value = current_value;
+    result.best = current.decode();
+  }
 
   // A degenerate matrix (C == 1 or n <= 2) has no flippable bits: the plain
   // row is the only state.
   if (initial.bit_count() == 0) return result;
 
-  double temperature = params.initial_temperature;
-  int cooling_step = 0;
-  long window_start_move = 0;
-  long window_start_accepted = 0;
-  for (long move = 0; move < params.total_moves; ++move) {
+  // Snapshots the loop state at a move boundary: `next_move` is the first
+  // move the continuation will execute, and every field — including the
+  // raw RNG words — is captured so the continuation replays the exact
+  // trajectory the uninterrupted run would have taken.
+  const auto capture = [&](long next_move, bool complete) {
+    runctl::SaCheckpoint ck;
+    ck.schedule = {params.initial_temperature, params.total_moves,
+                   params.cool_scale, params.moves_per_cool};
+    ck.method = params.method_label;
+    ck.n = initial.row_size();
+    ck.link_limit = initial.link_limit();
+    ck.next_move = next_move;
+    ck.cooling_step = cooling_step;
+    ck.temperature = temperature;
+    ck.window_start_move = window_start_move;
+    ck.window_start_accepted = window_start_accepted;
+    ck.moves = result.moves;
+    ck.accepted = result.accepted;
+    ck.improved = result.improved;
+    ck.rng_state = rng.state();
+    ck.current = current;
+    ck.current_value = current_value;
+    ck.best = result.best_matrix;
+    ck.best_value = result.best_value;
+    ck.complete = complete;
+    return ck;
+  };
+
+  long move = start_move;
+  for (; move < params.total_moves; ++move) {
+    if (params.control != nullptr && params.control->stop_requested()) {
+      result.status = params.control->status();
+      break;
+    }
     const int bit = static_cast<int>(
         rng.uniform_below(static_cast<std::uint64_t>(current.bit_count())));
     current.flip_flat(bit);
@@ -81,6 +140,18 @@ SaResult anneal_connection_matrix(const topo::ConnectionMatrix& initial,
       window_start_accepted = result.accepted;
       temperature /= params.cool_scale;
     }
+    if (params.checkpoint_sink && params.checkpoint_every_moves > 0 &&
+        (move + 1) % params.checkpoint_every_moves == 0 &&
+        move + 1 < params.total_moves) {
+      params.checkpoint_sink(capture(move + 1, false));
+    }
+  }
+
+  if (result.status != runctl::RunStatus::kCompleted)
+    result.checkpoint = capture(move, false);
+  if (params.checkpoint_sink) {
+    params.checkpoint_sink(
+        capture(move, result.status == runctl::RunStatus::kCompleted));
   }
 
   result.best = result.best_matrix.decode();

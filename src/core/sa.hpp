@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
+#include <string>
 
 #include "core/objective.hpp"
+#include "runctl/checkpoint.hpp"
+#include "runctl/control.hpp"
 #include "topo/connection_matrix.hpp"
 #include "util/rng.hpp"
 
@@ -43,6 +47,30 @@ struct SaParams {
   /// Invoked once per cooling step when set; see SaCoolingStep.
   SaObserver observer;
 
+  /// Cooperative stop: when set, the annealing loop polls it once per move
+  /// and stops early (keeping the best solution found so far) on a
+  /// deadline or an interrupt. Not owned; may be null.
+  runctl::RunControl* control = nullptr;
+
+  /// When set together with checkpoint_every_moves > 0, the annealer hands
+  /// a full state snapshot to this sink every checkpoint_every_moves
+  /// moves, once more if it stops early, and a final one (complete=true)
+  /// when the schedule finishes. Called synchronously from the loop —
+  /// sinks that hit the filesystem should keep the cadence coarse.
+  std::function<void(const runctl::SaCheckpoint&)> checkpoint_sink;
+  long checkpoint_every_moves = 0;
+
+  /// Resume from a previously captured snapshot instead of starting fresh:
+  /// restores the matrix, counters, temperature and RNG words, so the
+  /// continued run is bit-identical to one that was never stopped. The
+  /// schedule fields above must equal the checkpoint's (drivers rebuild
+  /// them from it). Not owned; may be null.
+  const runctl::SaCheckpoint* resume = nullptr;
+
+  /// Label recorded in emitted checkpoints so `xlp run --resume` knows
+  /// which driver produced them (e.g. "OnlySA").
+  std::string method_label;
+
   /// Scales the move budget while keeping the same cooling profile shape
   /// (used by the runtime-comparison experiment, Fig. 7).
   [[nodiscard]] SaParams with_moves(long moves) const {
@@ -70,6 +98,13 @@ struct SaResult {
   /// Temperature after the last cooling step (== initial_temperature when
   /// the schedule never cooled or the matrix was degenerate).
   double final_temperature = 0.0;
+  /// kCompleted when the schedule ran out naturally; kDeadline /
+  /// kInterrupted when SaParams::control stopped the loop early. The best
+  /// solution fields are valid either way.
+  runctl::RunStatus status = runctl::RunStatus::kCompleted;
+  /// Engaged when the run stopped early: the snapshot to persist so the
+  /// run can be continued with SaParams::resume.
+  std::optional<runctl::SaCheckpoint> checkpoint;
 };
 
 /// The paper's annealer over the connection-matrix search space (Section

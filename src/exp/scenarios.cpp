@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "runctl/control.hpp"
 #include "util/check.hpp"
 
 namespace xlp::exp {
@@ -111,6 +112,18 @@ bool warn_if_undrained(const sim::SimStats& stats,
                        const std::string& context) {
   if (stats.drained) return true;
   const long in_flight = stats.packets_offered - stats.packets_finished;
+  if (stats.status != runctl::RunStatus::kCompleted) {
+    // The run was cut short by a deadline or an interrupt: undrained
+    // packets are expected, not a saturation diagnosis — keep the noise
+    // level down and just note the early stop.
+    std::fprintf(stderr,
+                 "note: %s: run stopped early (%s) with %ld of %ld measured "
+                 "packets still in flight; statistics cover the simulated "
+                 "prefix only\n",
+                 context.c_str(), runctl::to_string(stats.status), in_flight,
+                 stats.packets_offered);
+    return false;
+  }
   if (stats.packets_lost > 0 || stats.packets_unroutable > 0) {
     // Faults, not saturation: packets were purged with retries exhausted or
     // refused because no surviving route existed.

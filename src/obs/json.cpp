@@ -311,25 +311,27 @@ class Parser {
 
   std::optional<Json> parse_array() {
     if (!consume('[')) return std::nullopt;
+    if (++depth_ > kMaxDepth) return std::nullopt;
     Json arr = Json::array();
     skip_ws();
-    if (consume(']')) return arr;
+    if (consume(']')) return (--depth_, arr);
     while (true) {
       skip_ws();
       auto value = parse_value();
       if (!value) return std::nullopt;
       arr.push(std::move(*value));
       skip_ws();
-      if (consume(']')) return arr;
+      if (consume(']')) return (--depth_, arr);
       if (!consume(',')) return std::nullopt;
     }
   }
 
   std::optional<Json> parse_object() {
     if (!consume('{')) return std::nullopt;
+    if (++depth_ > kMaxDepth) return std::nullopt;
     Json obj = Json::object();
     skip_ws();
-    if (consume('}')) return obj;
+    if (consume('}')) return (--depth_, obj);
     while (true) {
       skip_ws();
       auto key = parse_string();
@@ -341,13 +343,19 @@ class Parser {
       if (!value) return std::nullopt;
       obj.set(key->as_string(), std::move(*value));
       skip_ws();
-      if (consume('}')) return obj;
+      if (consume('}')) return (--depth_, obj);
       if (!consume(',')) return std::nullopt;
     }
   }
 
+  /// Nesting cap: one stack frame per level means adversarial inputs like
+  /// ten thousand '[' would otherwise overflow the stack instead of
+  /// failing cleanly. Telemetry documents are a handful of levels deep.
+  static constexpr int kMaxDepth = 128;
+
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -1,17 +1,11 @@
 #include "obs/metrics.hpp"
 
-#include <filesystem>
-#include <fstream>
-#include <system_error>
+#include "util/fsio.hpp"
 
 namespace xlp::obs {
 
 bool ensure_parent_dir(const std::string& path) {
-  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
-  if (parent.empty()) return true;
-  std::error_code ec;
-  std::filesystem::create_directories(parent, ec);  // ok when already there
-  return !ec;
+  return util::ensure_parent_dir(path);
 }
 
 void MetricsRegistry::add(const std::string& name, long delta) {
@@ -82,11 +76,7 @@ Json MetricsRegistry::to_json() const {
 }
 
 bool MetricsRegistry::write_json_file(const std::string& path) const {
-  if (!ensure_parent_dir(path)) return false;
-  std::ofstream out(path);
-  if (!out.good()) return false;
-  out << to_json().dump() << '\n';
-  return out.good();
+  return util::atomic_write_file(path, to_json().dump() + "\n");
 }
 
 MetricsRegistry& MetricsRegistry::global() noexcept {

@@ -1,0 +1,91 @@
+#include "runctl/control.hpp"
+
+#include <csignal>
+#include <limits>
+
+namespace xlp::runctl {
+
+const char* to_string(RunStatus status) noexcept {
+  switch (status) {
+    case RunStatus::kCompleted:
+      return "completed";
+    case RunStatus::kDeadline:
+      return "deadline";
+    case RunStatus::kInterrupted:
+      return "interrupted";
+  }
+  return "unknown";
+}
+
+bool CancelToken::request(RunStatus reason) noexcept {
+  int expected = kClear;
+  return state_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                        std::memory_order_relaxed);
+}
+
+RunStatus CancelToken::reason() const noexcept {
+  const int raw = state_.load(std::memory_order_relaxed);
+  if (raw == kClear) return RunStatus::kCompleted;
+  return static_cast<RunStatus>(raw);
+}
+
+Deadline Deadline::after_seconds(double seconds) noexcept {
+  Deadline d;
+  d.unlimited_ = false;
+  d.at_ = std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(seconds > 0.0 ? seconds : 0.0));
+  return d;
+}
+
+bool Deadline::expired() const noexcept {
+  if (unlimited_) return false;
+  return std::chrono::steady_clock::now() >= at_;
+}
+
+double Deadline::remaining_seconds() const noexcept {
+  if (unlimited_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(at_ - std::chrono::steady_clock::now())
+      .count();
+}
+
+bool RunControl::stop_requested() noexcept {
+  if (token_ != nullptr && token_->cancelled()) return true;
+  if (deadline_hit_) return true;
+  if (deadline_.unlimited()) return false;
+  if (--calls_until_clock_ > 0) return false;
+  calls_until_clock_ = kDeadlineStride;
+  deadline_hit_ = deadline_.expired();
+  return deadline_hit_;
+}
+
+RunStatus RunControl::status() const noexcept {
+  if (token_ != nullptr && token_->cancelled()) return token_->reason();
+  if (deadline_hit_) return RunStatus::kDeadline;
+  return RunStatus::kCompleted;
+}
+
+namespace {
+
+// The handler may only touch async-signal-safe state: one relaxed atomic
+// pointer load plus the token's lock-free CAS.
+std::atomic<CancelToken*> g_signal_token{nullptr};
+
+extern "C" void xlp_runctl_signal_handler(int signum) {
+  CancelToken* token = g_signal_token.load(std::memory_order_relaxed);
+  if (token != nullptr && token->request(RunStatus::kInterrupted)) return;
+  // Second signal (or no token): fall back to the default action so the
+  // process can still be terminated forcibly.
+  std::signal(signum, SIG_DFL);
+  std::raise(signum);
+}
+
+}  // namespace
+
+void install_signal_handlers(CancelToken& token) noexcept {
+  g_signal_token.store(&token, std::memory_order_relaxed);
+  std::signal(SIGINT, xlp_runctl_signal_handler);
+  std::signal(SIGTERM, xlp_runctl_signal_handler);
+}
+
+}  // namespace xlp::runctl

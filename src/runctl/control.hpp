@@ -1,0 +1,106 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+namespace xlp::runctl {
+
+/// How a run ended. Every search and simulation loop that honours a
+/// RunControl reports one of these alongside its result, so callers can
+/// distinguish a converged answer from a best-effort one.
+enum class RunStatus {
+  kCompleted,    ///< ran to natural completion
+  kDeadline,     ///< stopped by a time limit; result is best-so-far
+  kInterrupted,  ///< stopped by SIGINT/SIGTERM or an explicit cancel
+};
+
+[[nodiscard]] const char* to_string(RunStatus status) noexcept;
+
+/// Cooperative cancellation flag, safe to set from a signal handler.
+///
+/// The token is sticky: the first request() wins and later requests are
+/// ignored, so a deadline that fires after the user pressed Ctrl-C still
+/// reports "interrupted". All operations are lock-free atomics.
+class CancelToken {
+ public:
+  /// Requests cancellation with the given reason (kDeadline or
+  /// kInterrupted). The first caller wins; returns true when this call
+  /// installed the reason. Async-signal-safe.
+  bool request(RunStatus reason) noexcept;
+
+  [[nodiscard]] bool cancelled() const noexcept {
+    return state_.load(std::memory_order_relaxed) != kClear;
+  }
+
+  /// The winning reason; kCompleted when no cancellation was requested.
+  [[nodiscard]] RunStatus reason() const noexcept;
+
+ private:
+  static constexpr int kClear = -1;
+  std::atomic<int> state_{kClear};
+};
+
+/// A wall-clock budget measured against std::chrono::steady_clock.
+/// Default-constructed deadlines never expire.
+class Deadline {
+ public:
+  Deadline() noexcept = default;
+
+  /// Deadline `seconds` from now; seconds <= 0 means already expired.
+  [[nodiscard]] static Deadline after_seconds(double seconds) noexcept;
+
+  [[nodiscard]] bool unlimited() const noexcept { return unlimited_; }
+  [[nodiscard]] bool expired() const noexcept;
+  /// Seconds until expiry (negative when past due, +inf when unlimited).
+  [[nodiscard]] double remaining_seconds() const noexcept;
+
+ private:
+  std::chrono::steady_clock::time_point at_{};
+  bool unlimited_ = true;
+};
+
+/// The handle hot loops poll. Bundles an optional shared CancelToken with
+/// an optional Deadline and amortizes the deadline's clock read over a
+/// stride of calls (the token check is a relaxed atomic load and runs on
+/// every call).
+///
+/// RunControl has value semantics on purpose: each worker thread copies
+/// one, so the stride counter is thread-local while the token — a plain
+/// pointer — stays shared. The pointed-to CancelToken must outlive every
+/// copy.
+class RunControl {
+ public:
+  RunControl() noexcept = default;
+  explicit RunControl(CancelToken* token, Deadline deadline = {}) noexcept
+      : token_(token), deadline_(deadline) {}
+
+  /// True once the token is cancelled or the deadline has expired. The
+  /// deadline result is sticky: after it fires once, every later call
+  /// returns true without touching the clock.
+  [[nodiscard]] bool stop_requested() noexcept;
+
+  /// The status a loop should report given how (or whether) it was
+  /// stopped. An interrupt outranks a deadline.
+  [[nodiscard]] RunStatus status() const noexcept;
+
+  [[nodiscard]] const Deadline& deadline() const noexcept { return deadline_; }
+  [[nodiscard]] CancelToken* token() const noexcept { return token_; }
+
+ private:
+  static constexpr int kDeadlineStride = 64;
+
+  CancelToken* token_ = nullptr;
+  Deadline deadline_{};
+  bool deadline_hit_ = false;
+  int calls_until_clock_ = 0;
+};
+
+/// Installs SIGINT/SIGTERM handlers that request kInterrupted on `token`.
+/// A second signal restores the default disposition and re-raises, so an
+/// unresponsive run can still be killed the usual way. The token must
+/// outlive the handlers (in practice: a main()-scope object). Calling
+/// again replaces the registered token.
+void install_signal_handlers(CancelToken& token) noexcept;
+
+}  // namespace xlp::runctl

@@ -9,6 +9,10 @@ namespace xlp::obs {
 class TraceSink;
 }
 
+namespace xlp::runctl {
+class RunControl;
+}
+
 namespace xlp::sim {
 
 /// What to do with packets already in flight when a fault severs their path.
@@ -110,6 +114,12 @@ struct SimConfig {
   /// counts. Null by default so instrumentation costs nothing.
   obs::TraceSink* trace = nullptr;
   long trace_interval_cycles = 1000;
+
+  /// Cooperative stop polled once per simulated cycle. When a deadline or
+  /// interrupt fires, the run ends at that cycle boundary, statistics are
+  /// finalized over the cycles actually simulated, and SimStats::status
+  /// records why. Not owned; null (the default) costs nothing.
+  runctl::RunControl* control = nullptr;
 
   /// Mid-run fault injection (empty by default). An empty schedule leaves
   /// the simulator bit-for-bit identical to a fault-free build: no extra

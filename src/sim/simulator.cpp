@@ -9,6 +9,7 @@
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "route/deadlock.hpp"
+#include "runctl/control.hpp"
 #include "util/check.hpp"
 #include "util/numeric.hpp"
 
@@ -528,10 +529,15 @@ SimStats Simulator::run() {
 
   std::sort(scheduled_.begin(), scheduled_.end());
   const obs::ProfileScope run_scope("sim.run");
+  runctl::RunStatus status = runctl::RunStatus::kCompleted;
   for (cycle_ = 0; cycle_ < hard_end; ++cycle_) {
     if (cycle_ >= measure_end && outstanding_measured_ == 0 &&
         next_scheduled_ >= scheduled_.size())
       break;
+    if (config_.control != nullptr && config_.control->stop_requested()) {
+      status = config_.control->status();
+      break;
+    }
     if (tracing && cycle_ > 0 && cycle_ % config_.trace_interval_cycles == 0)
       emit_progress();
     if (faults_enabled_) {
@@ -569,8 +575,17 @@ SimStats Simulator::run() {
       for (int r = 0; r < nodes; ++r) arbitrate(r);
     }
   }
-  activity_.measured_cycles = config_.measure_cycles;
+  if (status == runctl::RunStatus::kCompleted) {
+    activity_.measured_cycles = config_.measure_cycles;
+  } else {
+    // Stopped mid-run: normalize rate statistics over the part of the
+    // measurement window that actually elapsed (at least one cycle so the
+    // divisions below stay well-defined).
+    activity_.measured_cycles = std::max<long>(
+        1, std::min(config_.measure_cycles, cycle_ - config_.warmup_cycles));
+  }
   SimStats stats = finalize();
+  stats.status = status;
   if (config_.trace != nullptr && config_.trace->enabled()) {
     emit_channel_heatmap(stats);
     config_.trace->emit(
@@ -580,7 +595,8 @@ SimStats Simulator::run() {
             .set("packets_offered", stats.packets_offered)
             .set("packets_finished", stats.packets_finished)
             .set("avg_latency", stats.avg_latency)
-            .set("drained", stats.drained));
+            .set("drained", stats.drained)
+            .set("status", runctl::to_string(status)));
   }
   return stats;
 }
@@ -922,8 +938,8 @@ void Simulator::emit_progress() {
 
 void Simulator::emit_channel_heatmap(const SimStats& stats) const {
   obs::Json channels = obs::Json::array();
-  const double cycles =
-      std::max<double>(1.0, static_cast<double>(config_.measure_cycles));
+  const double cycles = std::max<double>(
+      1.0, static_cast<double>(stats.activity.measured_cycles));
   for (std::size_t ch = 0; ch < stats.channel_flits.size(); ++ch) {
     const auto& channel = net_.channels()[ch];
     channels.push(
@@ -937,7 +953,8 @@ void Simulator::emit_channel_heatmap(const SimStats& stats) const {
   }
   config_.trace->emit("sim.channel_utilization",
                       obs::Json::object()
-                          .set("measured_cycles", config_.measure_cycles)
+                          .set("measured_cycles",
+                               stats.activity.measured_cycles)
                           .set("flit_bits", net_.flit_bits())
                           .set("channels", std::move(channels)));
 }
@@ -1001,8 +1018,10 @@ SimStats Simulator::finalize() const {
     // Batch means over the measurement window for a confidence interval
     // (consecutive batches damp the autocorrelation of queueing systems).
     constexpr int kBatches = 10;
+    // activity_.measured_cycles == config_.measure_cycles on a completed
+    // run; it is the (shorter) elapsed window when the run was stopped.
     const long batch_span =
-        std::max<long>(1, config_.measure_cycles / kBatches);
+        std::max<long>(1, activity_.measured_cycles / kBatches);
     double batch_sum[kBatches] = {};
     long batch_count[kBatches] = {};
     for (const Packet& pk : packets_) {
@@ -1034,7 +1053,7 @@ SimStats Simulator::finalize() const {
   stats.drained = stats.packets_finished == stats.packets_offered;
 
   const double node_cycles =
-      static_cast<double>(config_.measure_cycles) * nodes;
+      static_cast<double>(activity_.measured_cycles) * nodes;
   stats.throughput_packets_per_node_cycle =
       static_cast<double>(stats.packets_ejected_in_window) / node_cycles;
   stats.offered_packets_per_node_cycle =

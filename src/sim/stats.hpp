@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "runctl/control.hpp"
+
 namespace xlp::sim {
 
 /// Flit-event counters accumulated over the measurement window; the power
@@ -62,6 +64,13 @@ struct SimStats {
   /// True when every measured packet drained before the run ended; if
   /// false the network was past saturation for this configuration.
   bool drained = true;
+
+  /// kCompleted for a full warmup+measure+drain run; kDeadline /
+  /// kInterrupted when SimConfig::control ended the run early. On an early
+  /// stop the rate statistics are normalized over the cycles actually
+  /// measured, and `drained == false` means "stopped before draining", not
+  /// necessarily saturation.
+  runctl::RunStatus status = runctl::RunStatus::kCompleted;
 
   /// Cycle of the last tail ejection (-1 when nothing ejected). Together
   /// with the in-flight count this distinguishes saturation (ejections

@@ -1,8 +1,6 @@
 #include "sim/stats_json.hpp"
 
-#include <fstream>
-
-#include "obs/metrics.hpp"
+#include "util/fsio.hpp"
 
 namespace xlp::sim {
 
@@ -43,6 +41,7 @@ obs::Json stats_to_json(const SimStats& stats) {
       .set("activity", std::move(activity))
       .set("channel_flits", std::move(channel_flits))
       .set("drained", stats.drained)
+      .set("status", runctl::to_string(stats.status))
       .set("last_ejection_cycle", stats.last_ejection_cycle)
       .set("faults",
            obs::Json::object()
@@ -54,11 +53,9 @@ obs::Json stats_to_json(const SimStats& stats) {
 }
 
 bool write_stats_json(const SimStats& stats, const std::string& path) {
-  if (!obs::ensure_parent_dir(path)) return false;
-  std::ofstream out(path);
-  if (!out.good()) return false;
-  out << stats_to_json(stats).dump() << '\n';
-  return out.good();
+  // Atomic temp-file + rename: a crash mid-write can never leave a
+  // truncated stats document behind for downstream tooling to choke on.
+  return util::atomic_write_file(path, stats_to_json(stats).dump() + "\n");
 }
 
 }  // namespace xlp::sim

@@ -111,6 +111,42 @@ std::string ConnectionMatrix::to_string() const {
   return out;
 }
 
+ConnectionMatrix ConnectionMatrix::from_string(int n, int link_limit,
+                                               const std::string& text) {
+  ConnectionMatrix m(n, link_limit);
+  if (m.layers() == 0 || m.interior() == 0) {
+    // Degenerate matrices dump as "" (no layers) or "|"-runs of empty
+    // rows (no interior routers); accept exactly what to_string() emits.
+    XLP_REQUIRE(text == m.to_string(),
+                "matrix text does not match the degenerate shape of P(n, C)");
+    return m;
+  }
+  std::vector<std::string> rows;
+  std::string row;
+  for (const char ch : text) {
+    if (ch == '|') {
+      rows.push_back(row);
+      row.clear();
+    } else {
+      row += ch;
+    }
+  }
+  rows.push_back(row);
+  XLP_REQUIRE(static_cast<int>(rows.size()) == m.layers(),
+              "matrix text has the wrong number of layers");
+  for (int layer = 0; layer < m.layers(); ++layer) {
+    const std::string& r = rows[static_cast<std::size_t>(layer)];
+    XLP_REQUIRE(static_cast<int>(r.size()) == m.interior(),
+                "matrix layer has the wrong number of columns");
+    for (int i = 0; i < m.interior(); ++i) {
+      const char ch = r[static_cast<std::size_t>(i)];
+      XLP_REQUIRE(ch == '0' || ch == '1', "matrix text must be 0/1 digits");
+      m.set_bit(layer, i, ch == '1');
+    }
+  }
+  return m;
+}
+
 std::ostream& operator<<(std::ostream& os, const ConnectionMatrix& m) {
   return os << m.to_string();
 }

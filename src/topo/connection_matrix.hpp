@@ -69,6 +69,14 @@ class ConnectionMatrix {
   /// "101|010"-style dump, layers separated by '|'.
   [[nodiscard]] std::string to_string() const;
 
+  /// Inverse of to_string() for P̄(n, link_limit): parses a '|'-separated
+  /// layer dump back into a matrix. Throws PreconditionError when the text
+  /// does not describe exactly layers() rows of interior() '0'/'1' digits.
+  /// Used by checkpoint restore, so a resumed run starts from the exact
+  /// matrix that was saved.
+  static ConnectionMatrix from_string(int n, int link_limit,
+                                      const std::string& text);
+
   friend bool operator==(const ConnectionMatrix&,
                          const ConnectionMatrix&) = default;
 

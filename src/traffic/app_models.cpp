@@ -85,8 +85,7 @@ const std::vector<AppModel>& parsec_models() {
 const AppModel& parsec_model(const std::string& name) {
   for (const AppModel& m : parsec_models())
     if (m.name == name) return m;
-  XLP_REQUIRE(false, "unknown PARSEC model: " + name);
-  std::abort();  // unreachable; XLP_REQUIRE throws
+  XLP_FAIL("unknown PARSEC model: " + name);
 }
 
 TrafficMatrix parsec_average_matrix(int n) {

@@ -52,3 +52,10 @@ namespace detail {
     if (!(expr))                                                         \
       ::xlp::detail::throw_invariant(#expr, __FILE__, __LINE__, (msg)); \
   } while (false)
+
+/// Unconditional failure for a path that must not be reached (an
+/// exhausted lookup, an impossible enum value). Equivalent to
+/// XLP_REQUIRE(false, msg) but [[noreturn]], so callers need no dead
+/// return or std::abort() after it to satisfy the compiler.
+#define XLP_FAIL(msg) \
+  ::xlp::detail::throw_precondition("unreachable", __FILE__, __LINE__, (msg))

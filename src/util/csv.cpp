@@ -1,12 +1,11 @@
 #include "util/csv.hpp"
 
 #include <cstdlib>
-#include <filesystem>
-#include <fstream>
 #include <ostream>
-#include <system_error>
+#include <sstream>
 
 #include "util/check.hpp"
+#include "util/fsio.hpp"
 
 namespace xlp {
 
@@ -51,19 +50,11 @@ void CsvWriter::write(std::ostream& os) const {
 }
 
 bool CsvWriter::write_file(const std::string& path) const {
-  // Best-effort like the JSON writers: create missing parent directories
-  // rather than failing silently on a fresh output tree.
-  const std::filesystem::path parent =
-      std::filesystem::path(path).parent_path();
-  if (!parent.empty()) {
-    std::error_code ec;
-    std::filesystem::create_directories(parent, ec);
-    if (ec) return false;
-  }
-  std::ofstream out(path);
-  if (!out.good()) return false;
+  // Render in memory and publish with an atomic rename, so readers (and
+  // crash recovery) never observe a half-written table.
+  std::ostringstream out;
   write(out);
-  return out.good();
+  return util::atomic_write_file(path, out.str());
 }
 
 std::string csv_output_dir() {

@@ -1,0 +1,70 @@
+#include "util/fsio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+namespace xlp::util {
+
+bool ensure_parent_dir(const std::string& path) noexcept {
+  try {
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (parent.empty()) return true;
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);  // ok when already there
+    return !ec;
+  } catch (...) {
+    return false;
+  }
+}
+
+bool atomic_write_file(const std::string& path,
+                       const std::string& content) noexcept {
+  if (!ensure_parent_dir(path)) return false;
+  // The temp file must live in the same directory as the target so the
+  // final rename stays within one filesystem (rename(2) is only atomic
+  // then). The pid suffix keeps concurrent writers from clobbering each
+  // other's temp files; the last rename wins, which is still a complete
+  // document.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+
+  bool ok = true;
+  const char* data = content.data();
+  std::size_t remaining = content.size();
+  while (remaining > 0) {
+    const ssize_t written = ::write(fd, data, remaining);
+    if (written < 0) {
+      ok = false;
+      break;
+    }
+    data += written;
+    remaining -= static_cast<std::size_t>(written);
+  }
+  // fsync before rename: otherwise the rename can hit disk before the
+  // data and a power loss would publish an empty file under `path`.
+  if (ok && ::fsync(fd) != 0) ok = false;
+  if (::close(fd) != 0) ok = false;
+  if (ok && std::rename(tmp.c_str(), path.c_str()) != 0) ok = false;
+  if (!ok) std::remove(tmp.c_str());  // best-effort cleanup
+  return ok;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return buffer.str();
+}
+
+}  // namespace xlp::util

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace xlp::util {
+
+/// Creates any missing parent directories of `path` so a subsequent open
+/// for writing can succeed (no-op when the path has no directory
+/// component). Returns false, without throwing, when creation failed.
+bool ensure_parent_dir(const std::string& path) noexcept;
+
+/// Crash-safe whole-file write: the content goes to a temporary file in
+/// the same directory, is fsync'd to stable storage, and is then renamed
+/// over `path`. A crash (or kill) at any point leaves either the old file
+/// or the new one — never a truncated hybrid that would poison a reader
+/// like bench_diff or a checkpoint load. Missing parent directories are
+/// created. Returns false, without throwing, on any failure (the
+/// temporary file is removed best-effort).
+[[nodiscard]] bool atomic_write_file(const std::string& path,
+                                     const std::string& content) noexcept;
+
+/// Reads a whole file into a string; nullopt when it cannot be opened or
+/// read.
+[[nodiscard]] std::optional<std::string> read_file(const std::string& path);
+
+}  // namespace xlp::util

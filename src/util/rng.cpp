@@ -66,6 +66,14 @@ bool Rng::bernoulli(double p) noexcept {
   return uniform01() < p;
 }
 
+std::array<std::uint64_t, 4> Rng::state() const noexcept {
+  return {state_[0], state_[1], state_[2], state_[3]};
+}
+
+void Rng::set_state(const std::array<std::uint64_t, 4>& words) noexcept {
+  for (int i = 0; i < 4; ++i) state_[i] = words[static_cast<std::size_t>(i)];
+}
+
 Rng Rng::fork(std::uint64_t stream_id) noexcept {
   const std::uint64_t base = (*this)();
   // Mix the stream id so fork(0) and fork(1) are decorrelated.

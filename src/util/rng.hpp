@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -44,6 +45,12 @@ class Rng {
   /// current state and the stream id, without advancing this generator more
   /// than one step.
   Rng fork(std::uint64_t stream_id) noexcept;
+
+  /// The four raw state words, for checkpointing. set_state() restores a
+  /// generator to an exact earlier point so a resumed run draws the same
+  /// stream bit-for-bit.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const noexcept;
+  void set_state(const std::array<std::uint64_t, 4>& words) noexcept;
 
  private:
   std::uint64_t state_[4];

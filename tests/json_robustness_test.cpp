@@ -1,0 +1,113 @@
+// Malformed-input corpus for obs::Json::parse: the parser backs every
+// loader that reads artifacts off disk (checkpoints, bench baselines,
+// traces), so truncated, hostile or lossy documents must fail cleanly —
+// nullopt with a useful error offset — never crash or hang.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace xlp::obs {
+namespace {
+
+TEST(JsonRobustness, TruncatedDocumentsFailCleanly) {
+  // Every proper prefix of a small but representative document must be
+  // rejected (empty string included).
+  const std::string doc =
+      R"({"schema":"xlp-ckpt/1","values":[1,2.5,-3e2],"ok":true,"s":"a\nb"})";
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    const std::string prefix = doc.substr(0, len);
+    EXPECT_FALSE(Json::parse(prefix).has_value())
+        << "prefix of length " << len << " parsed: " << prefix;
+  }
+  EXPECT_TRUE(Json::parse(doc).has_value());
+}
+
+TEST(JsonRobustness, ErrorOffsetPointsIntoDocument) {
+  std::size_t offset = 9999;
+  EXPECT_FALSE(Json::parse(R"({"a": 1, "b": })", &offset).has_value());
+  EXPECT_LE(offset, std::string(R"({"a": 1, "b": })").size());
+  EXPECT_GT(offset, 0u);
+}
+
+TEST(JsonRobustness, DeepNestingIsRejectedNotStackOverflow) {
+  // Way past the parser's depth cap: must return nullopt, not crash.
+  const int depth = 100000;
+  std::string arrays(depth, '[');
+  arrays.append(depth, ']');
+  EXPECT_FALSE(Json::parse(arrays).has_value());
+
+  std::string objects;
+  for (int i = 0; i < depth; ++i) objects += "{\"k\":";
+  objects += "1";
+  objects.append(depth, '}');
+  EXPECT_FALSE(Json::parse(objects).has_value());
+}
+
+TEST(JsonRobustness, ModerateNestingStillParses) {
+  const int depth = 64;  // well inside the cap
+  std::string text(depth, '[');
+  text.append(depth, ']');
+  const auto parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->is_array());
+}
+
+TEST(JsonRobustness, NonFiniteNumbersRoundTripAsNull) {
+  // JSON has no NaN/Inf; the dumper must emit null rather than tokens the
+  // parser (or any other reader) would choke on.
+  const Json doc = Json::object()
+                       .set("a", Json(std::nan("")))
+                       .set("b", Json(HUGE_VAL))
+                       .set("c", Json(-HUGE_VAL))
+                       .set("fine", Json(1.5));
+  const std::string text = doc.dump();
+  EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+  EXPECT_EQ(text.find("inf"), std::string::npos) << text;
+  const auto parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->find("a")->is_null());
+  EXPECT_TRUE(parsed->find("b")->is_null());
+  EXPECT_TRUE(parsed->find("c")->is_null());
+  EXPECT_DOUBLE_EQ(parsed->find("fine")->as_number(), 1.5);
+
+  // Bare non-finite tokens are not valid JSON input either.
+  EXPECT_FALSE(Json::parse("NaN").has_value());
+  EXPECT_FALSE(Json::parse("Infinity").has_value());
+  EXPECT_FALSE(Json::parse("-Infinity").has_value());
+}
+
+TEST(JsonRobustness, DuplicateKeysKeepFirstViaFind) {
+  // The ordered-members representation keeps both entries; find() must be
+  // deterministic (first wins), so loaders cannot be confused into
+  // honouring a smuggled second value.
+  const auto parsed = Json::parse(R"({"k": 1, "k": 2})");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->size(), 2u);
+  EXPECT_EQ(parsed->find("k")->as_long(), 1);
+}
+
+TEST(JsonRobustness, GarbageAndTrailingContentRejected) {
+  EXPECT_FALSE(Json::parse("not json").has_value());
+  EXPECT_FALSE(Json::parse("{} trailing").has_value());
+  EXPECT_FALSE(Json::parse("[1,]").has_value());
+  EXPECT_FALSE(Json::parse("{\"a\":1,}").has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated").has_value());
+  EXPECT_FALSE(Json::parse("{'single': 1}").has_value());
+  EXPECT_FALSE(Json::parse("\"bad \\q escape\"").has_value());
+  EXPECT_FALSE(Json::parse("\"\\u12g4\"").has_value());
+  EXPECT_FALSE(Json::parse("-").has_value());
+  EXPECT_FALSE(Json::parse("+1").has_value());
+}
+
+TEST(JsonRobustness, UnicodeEscapesDecodeToUtf8) {
+  const auto parsed = Json::parse(R"("\u0041\u00e9\u20ac")");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_string(), "A\xC3\xA9\xE2\x82\xAC");
+}
+
+}  // namespace
+}  // namespace xlp::obs

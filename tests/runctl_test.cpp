@@ -1,0 +1,484 @@
+// The resilience subsystem end to end: cancellation tokens and deadlines,
+// structured errors, crash-safe writes, checkpoint serialization, and —
+// the property everything else exists for — a resumed annealing run being
+// bit-identical to one that was never interrupted.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/branch_bound.hpp"
+#include "core/drivers.hpp"
+#include "core/naive_sa.hpp"
+#include "core/portfolio.hpp"
+#include "exp/scenarios.hpp"
+#include "runctl/checkpoint.hpp"
+#include "runctl/control.hpp"
+#include "sim/stats_json.hpp"
+#include "topo/builders.hpp"
+#include "traffic/matrix.hpp"
+#include "util/error.hpp"
+#include "util/fsio.hpp"
+
+namespace xlp {
+namespace {
+
+using runctl::CancelToken;
+using runctl::Deadline;
+using runctl::RunControl;
+using runctl::RunStatus;
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "xlp_runctl_" + name;
+}
+
+// ---------------------------------------------------------------- control
+
+TEST(RunControlTest, TokenIsStickyAndFirstReasonWins) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), RunStatus::kCompleted);
+  EXPECT_TRUE(token.request(RunStatus::kInterrupted));
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), RunStatus::kInterrupted);
+  EXPECT_FALSE(token.request(RunStatus::kDeadline));  // later request loses
+  EXPECT_EQ(token.reason(), RunStatus::kInterrupted);
+}
+
+TEST(RunControlTest, DeadlineExpiry) {
+  EXPECT_TRUE(Deadline().unlimited());
+  EXPECT_FALSE(Deadline().expired());
+  const Deadline expired = Deadline::after_seconds(0.0);
+  EXPECT_FALSE(expired.unlimited());
+  EXPECT_TRUE(expired.expired());
+  EXPECT_LE(expired.remaining_seconds(), 0.0);
+  const Deadline far = Deadline::after_seconds(3600.0);
+  EXPECT_FALSE(far.expired());
+  EXPECT_GT(far.remaining_seconds(), 3500.0);
+}
+
+TEST(RunControlTest, DefaultControlNeverStops) {
+  RunControl control;
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(control.stop_requested());
+  EXPECT_EQ(control.status(), RunStatus::kCompleted);
+}
+
+TEST(RunControlTest, CancelledTokenStopsImmediately) {
+  CancelToken token;
+  RunControl control(&token);
+  EXPECT_FALSE(control.stop_requested());
+  token.request(RunStatus::kInterrupted);
+  EXPECT_TRUE(control.stop_requested());
+  EXPECT_EQ(control.status(), RunStatus::kInterrupted);
+}
+
+TEST(RunControlTest, ExpiredDeadlineStopsWithinOneStride) {
+  RunControl control(nullptr, Deadline::after_seconds(0.0));
+  // The clock is only consulted every kDeadlineStride calls, so allow up
+  // to a stride's worth of polls before the stop lands — and once it has
+  // landed it must be sticky.
+  int polls = 0;
+  while (!control.stop_requested() && polls < 200) ++polls;
+  EXPECT_LT(polls, 100);
+  EXPECT_TRUE(control.stop_requested());
+  EXPECT_EQ(control.status(), RunStatus::kDeadline);
+}
+
+TEST(RunControlTest, InterruptOutranksDeadline) {
+  CancelToken token;
+  RunControl control(&token, Deadline::after_seconds(0.0));
+  while (!control.stop_requested()) {
+  }
+  token.request(RunStatus::kInterrupted);
+  EXPECT_EQ(control.status(), RunStatus::kInterrupted);
+}
+
+// ----------------------------------------------------------------- errors
+
+TEST(ErrorTest, ContextChainReadsInnermostFirst) {
+  Error err(ErrorCode::kParse, "missing field 'rng'");
+  err.with_context("reading sa state").with_context("loading ck.json");
+  EXPECT_EQ(err.code(), ErrorCode::kParse);
+  const std::string what = err.what();
+  EXPECT_NE(what.find("missing field 'rng'"), std::string::npos);
+  EXPECT_NE(what.find("reading sa state"), std::string::npos);
+  EXPECT_NE(what.find("loading ck.json"), std::string::npos);
+  // Innermost context precedes the outermost.
+  EXPECT_LT(what.find("reading sa state"), what.find("loading ck.json"));
+}
+
+// ------------------------------------------------------------------- fsio
+
+TEST(FsioTest, AtomicWriteRoundTripsAndReplaces) {
+  const std::string path = tmp_path("atomic.txt");
+  ASSERT_TRUE(util::atomic_write_file(path, "first"));
+  EXPECT_EQ(util::read_file(path).value_or("<missing>"), "first");
+  ASSERT_TRUE(util::atomic_write_file(path, "second"));
+  EXPECT_EQ(util::read_file(path).value_or("<missing>"), "second");
+}
+
+TEST(FsioTest, AtomicWriteCreatesParentDirs) {
+  const std::string path = tmp_path("nested/deeper/out.txt");
+  ASSERT_TRUE(util::atomic_write_file(path, "content"));
+  EXPECT_EQ(util::read_file(path).value_or("<missing>"), "content");
+}
+
+TEST(FsioTest, ReadMissingFileIsNullopt) {
+  EXPECT_FALSE(util::read_file(tmp_path("never_written.txt")).has_value());
+}
+
+// ------------------------------------------------------------ checkpoints
+
+runctl::SaCheckpoint sample_checkpoint() {
+  runctl::SaCheckpoint ck;
+  ck.schedule = {5.0, 4000, 2.0, 400};
+  ck.method = "OnlySA";
+  ck.n = 8;
+  ck.link_limit = 4;
+  ck.next_move = 1234;
+  ck.cooling_step = 3;
+  ck.temperature = 0.625;
+  ck.window_start_move = 1200;
+  ck.window_start_accepted = 900;
+  ck.moves = 1234;
+  ck.accepted = 1000;
+  ck.improved = 321;
+  ck.rng_state = {0xdeadbeefcafef00dULL, 1ULL, 0ULL, 0xffffffffffffffffULL};
+  ck.current = topo::ConnectionMatrix(8, 4);
+  ck.current_value = 13.25;
+  ck.best = topo::ConnectionMatrix(8, 4);
+  ck.best_value = 12.75;
+  return ck;
+}
+
+TEST(CheckpointTest, SaJsonRoundTripIsLossless) {
+  const runctl::SaCheckpoint ck = sample_checkpoint();
+  const auto back = runctl::SaCheckpoint::from_json(ck.to_json());
+  EXPECT_EQ(back.schedule.initial_temperature, 5.0);
+  EXPECT_EQ(back.schedule.total_moves, 4000);
+  EXPECT_EQ(back.schedule.moves_per_cool, 400);
+  EXPECT_EQ(back.method, "OnlySA");
+  EXPECT_EQ(back.n, 8);
+  EXPECT_EQ(back.link_limit, 4);
+  EXPECT_EQ(back.next_move, 1234);
+  EXPECT_EQ(back.temperature, 0.625);
+  EXPECT_EQ(back.rng_state, ck.rng_state);  // exact 64-bit words
+  EXPECT_EQ(back.current.to_string(), ck.current.to_string());
+  EXPECT_EQ(back.best_value, 12.75);
+  EXPECT_FALSE(back.complete);
+}
+
+TEST(CheckpointTest, FileRoundTripThroughDisk) {
+  const std::string path = tmp_path("sa_ck.json");
+  runctl::save_sa_checkpoint(path, sample_checkpoint());
+  const auto file = runctl::load_checkpoint_file(path);
+  EXPECT_EQ(file.kind, "sa");
+  ASSERT_TRUE(file.sa.has_value());
+  EXPECT_FALSE(file.portfolio.has_value());
+  EXPECT_EQ(file.sa->next_move, 1234);
+}
+
+ErrorCode load_failure_code(const std::string& path) {
+  try {
+    (void)runctl::load_checkpoint_file(path);
+  } catch (const Error& e) {
+    // Every load failure must carry the file path in its context chain.
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << e.what();
+    return e.code();
+  }
+  ADD_FAILURE() << "load of " << path << " unexpectedly succeeded";
+  return ErrorCode::kInternal;
+}
+
+TEST(CheckpointTest, LoadRejectsForeignAndPartialFiles) {
+  const std::string path = tmp_path("bad_ck.json");
+
+  EXPECT_EQ(load_failure_code(tmp_path("missing_ck.json")), ErrorCode::kIo);
+
+  ASSERT_TRUE(util::atomic_write_file(path, "definitely not json"));
+  EXPECT_EQ(load_failure_code(path), ErrorCode::kParse);
+
+  ASSERT_TRUE(util::atomic_write_file(path, "{\"foo\": 1}"));
+  EXPECT_EQ(load_failure_code(path), ErrorCode::kSchema);
+
+  ASSERT_TRUE(util::atomic_write_file(
+      path, "{\"schema\": \"xlp-bench/1\", \"kind\": \"suite\"}"));
+  EXPECT_EQ(load_failure_code(path), ErrorCode::kSchema);
+
+  ASSERT_TRUE(util::atomic_write_file(
+      path, "{\"schema\": \"xlp-ckpt/999\", \"kind\": \"sa\"}"));
+  EXPECT_EQ(load_failure_code(path), ErrorCode::kVersion);
+
+  ASSERT_TRUE(util::atomic_write_file(
+      path, "{\"schema\": \"xlp-ckpt/1\", \"kind\": \"martian\"}"));
+  EXPECT_EQ(load_failure_code(path), ErrorCode::kSchema);
+
+  // A truncated copy of a real checkpoint: kParse, never a crash.
+  const std::string good_path = tmp_path("good_ck.json");
+  runctl::save_sa_checkpoint(good_path, sample_checkpoint());
+  const std::string good = util::read_file(good_path).value();
+  ASSERT_TRUE(util::atomic_write_file(path, good.substr(0, good.size() / 2)));
+  EXPECT_EQ(load_failure_code(path), ErrorCode::kParse);
+
+  // Well-formed envelope with a mangled payload field.
+  ASSERT_TRUE(util::atomic_write_file(
+      path,
+      "{\"schema\": \"xlp-ckpt/1\", \"kind\": \"sa\", \"payload\": {}}"));
+  EXPECT_EQ(load_failure_code(path), ErrorCode::kParse);
+}
+
+// ------------------------------------------------------- search loops stop
+
+TEST(SearchCancelTest, SaStopsMidAnnealWithCheckpoint) {
+  const core::RowObjective objective(8, route::HopWeights{});
+  CancelToken token;
+  RunControl control(&token);
+  core::SaParams params = core::SaParams{}.with_moves(5000);
+  params.control = &control;
+  params.checkpoint_every_moves = 500;
+  long sink_calls = 0;
+  params.checkpoint_sink = [&](const runctl::SaCheckpoint&) {
+    // Cancel from inside the run, at a deterministic move boundary.
+    ++sink_calls;
+    token.request(RunStatus::kInterrupted);
+  };
+  Rng rng(5);
+  const auto result = core::solve_only_sa(objective, 4, params, rng);
+  EXPECT_EQ(result.status, RunStatus::kInterrupted);
+  ASSERT_TRUE(result.checkpoint.has_value());
+  EXPECT_FALSE(result.checkpoint->complete);
+  EXPECT_LT(result.checkpoint->next_move, 5000);
+  EXPECT_GT(result.checkpoint->next_move, 0);
+  // The interrupted result is still a valid, evaluated placement.
+  EXPECT_EQ(result.placement.size(), 8);
+  EXPECT_GT(result.value, 0.0);
+  EXPECT_GE(sink_calls, 1);
+}
+
+TEST(SearchCancelTest, SaDeadlineReportsDeadline) {
+  const core::RowObjective objective(8, route::HopWeights{});
+  RunControl control(nullptr, Deadline::after_seconds(0.0));
+  core::SaParams params = core::SaParams{}.with_moves(100000);
+  params.control = &control;
+  Rng rng(5);
+  const auto result = core::solve_only_sa(objective, 4, params, rng);
+  EXPECT_EQ(result.status, RunStatus::kDeadline);
+  EXPECT_GT(result.value, 0.0);
+}
+
+TEST(SearchCancelTest, PeriodicSinkCadenceAndFinalSnapshot) {
+  const core::RowObjective objective(8, route::HopWeights{});
+  core::SaParams params;
+  params.total_moves = 1000;
+  params.moves_per_cool = 250;
+  params.checkpoint_every_moves = 250;
+  std::vector<long> boundaries;
+  std::vector<bool> completes;
+  params.checkpoint_sink = [&](const runctl::SaCheckpoint& ck) {
+    boundaries.push_back(ck.next_move);
+    completes.push_back(ck.complete);
+  };
+  Rng rng(9);
+  const auto result = core::solve_only_sa(objective, 4, params, rng);
+  EXPECT_EQ(result.status, RunStatus::kCompleted);
+  // Three periodic snapshots (the final boundary is not doubled) plus one
+  // complete=true snapshot at the natural end.
+  ASSERT_EQ(boundaries, (std::vector<long>{250, 500, 750, 1000}));
+  EXPECT_EQ(completes, (std::vector<bool>{false, false, false, true}));
+}
+
+TEST(SearchCancelTest, BranchAndBoundHonoursControl) {
+  const core::RowObjective objective(8, route::HopWeights{});
+  CancelToken token;
+  token.request(RunStatus::kInterrupted);
+  RunControl control(&token);
+  core::BranchAndBound bb(objective, 2, &control);
+  const auto exact = bb.solve();
+  EXPECT_EQ(exact.status, RunStatus::kInterrupted);
+  EXPECT_EQ(exact.placement.size(), 8);  // feasible fallback
+}
+
+TEST(SearchCancelTest, DncHonoursControl) {
+  const core::RowObjective objective(8, route::HopWeights{});
+  CancelToken token;
+  token.request(RunStatus::kInterrupted);
+  RunControl control(&token);
+  core::DncOptions options;
+  options.control = &control;
+  const auto result = core::solve_dnc_only(objective, 4, options);
+  EXPECT_EQ(result.status, RunStatus::kInterrupted);
+  EXPECT_EQ(result.placement.size(), 8);
+}
+
+TEST(SearchCancelTest, NaiveSaHonoursControl) {
+  const core::RowObjective objective(8, route::HopWeights{});
+  CancelToken token;
+  token.request(RunStatus::kInterrupted);
+  RunControl control(&token);
+  core::SaParams params = core::SaParams{}.with_moves(5000);
+  params.control = &control;
+  Rng rng(3);
+  const auto result = core::anneal_naive_links(topo::RowTopology(8),
+                                               objective, 4, params, rng);
+  EXPECT_EQ(result.status, RunStatus::kInterrupted);
+  EXPECT_EQ(result.best.size(), 8);
+}
+
+// ----------------------------------------------------------------- resume
+
+TEST(ResumeTest, ResumedSaRunIsBitIdenticalToUninterrupted) {
+  const core::RowObjective objective(8, route::HopWeights{});
+  const core::SaParams base = core::SaParams{}.with_moves(4000);
+
+  // Reference: the same schedule and seed, never interrupted.
+  core::SaParams full_params = base;
+  Rng full_rng(11);
+  const auto full = core::solve_only_sa(objective, 4, full_params, full_rng);
+  ASSERT_EQ(full.status, RunStatus::kCompleted);
+
+  // Interrupted run: cancelled from the first periodic snapshot.
+  CancelToken token;
+  RunControl control(&token);
+  core::SaParams cut = base;
+  cut.control = &control;
+  cut.checkpoint_every_moves = 1000;
+  cut.checkpoint_sink = [&](const runctl::SaCheckpoint&) {
+    token.request(RunStatus::kInterrupted);
+  };
+  Rng cut_rng(11);
+  const auto stopped = core::solve_only_sa(objective, 4, cut, cut_rng);
+  ASSERT_EQ(stopped.status, RunStatus::kInterrupted);
+  ASSERT_TRUE(stopped.checkpoint.has_value());
+
+  // Round-trip the checkpoint through its on-disk JSON form, then resume.
+  const std::string path = tmp_path("resume_sa.json");
+  runctl::save_sa_checkpoint(path, *stopped.checkpoint);
+  const auto file = runctl::load_checkpoint_file(path);
+  ASSERT_TRUE(file.sa.has_value());
+  const auto resumed = core::resume_sa(objective, *file.sa);
+
+  EXPECT_EQ(resumed.status, RunStatus::kCompleted);
+  EXPECT_EQ(resumed.placement.to_string(), full.placement.to_string());
+  EXPECT_EQ(resumed.value, full.value);  // exact, not approximate
+  EXPECT_EQ(resumed.method, full.method);
+}
+
+TEST(ResumeTest, ResumeRejectsMismatchedInstance) {
+  const core::RowObjective objective(16, route::HopWeights{});
+  runctl::SaCheckpoint ck = sample_checkpoint();  // an n=8 checkpoint
+  EXPECT_THROW((void)core::resume_sa(objective, ck), PreconditionError);
+}
+
+TEST(ResumeTest, PortfolioResumeMatchesUninterruptedRun) {
+  core::PortfolioOptions base;
+  base.chains = 2;
+  base.sa = core::SaParams{}.with_moves(1500);
+  base.solver = core::Solver::kOnlySa;
+  const auto full = core::solve_portfolio(8, route::HopWeights{},
+                                          std::nullopt, 4, base, 42);
+  ASSERT_EQ(full.status, RunStatus::kCompleted);
+
+  // Cancel before any chain makes a move: every chain checkpoints its
+  // initial state, and the resumed portfolio must replay to the same
+  // answer.
+  CancelToken token;
+  token.request(RunStatus::kInterrupted);
+  core::PortfolioOptions cut = base;
+  cut.control = RunControl(&token);
+  cut.checkpoint_path = tmp_path("portfolio_ck.json");
+  const auto stopped = core::solve_portfolio(8, route::HopWeights{},
+                                             std::nullopt, 4, cut, 42);
+  EXPECT_EQ(stopped.status, RunStatus::kInterrupted);
+  ASSERT_TRUE(stopped.checkpoint.has_value());
+
+  const auto file = runctl::load_checkpoint_file(cut.checkpoint_path);
+  EXPECT_EQ(file.kind, "portfolio");
+  ASSERT_TRUE(file.portfolio.has_value());
+  EXPECT_EQ(file.portfolio->chains, 2);
+  EXPECT_EQ(file.portfolio->seed, 42u);
+  EXPECT_EQ(file.portfolio->solver, "onlysa");
+
+  core::PortfolioOptions resume_options = base;
+  resume_options.resume = &*file.portfolio;
+  const auto resumed = core::solve_portfolio(8, route::HopWeights{},
+                                             std::nullopt, 4, resume_options,
+                                             file.portfolio->seed);
+  EXPECT_EQ(resumed.status, RunStatus::kCompleted);
+  EXPECT_EQ(resumed.best.placement.to_string(),
+            full.best.placement.to_string());
+  EXPECT_EQ(resumed.best.value, full.best.value);
+}
+
+// -------------------------------------------------------------- simulator
+
+TEST(SimDeadlineTest, EarlyStopDrainsStatsWithoutSpuriousWarning) {
+  const topo::RowTopology row(8);
+  const topo::ExpressMesh design = topo::make_design(row, 4);
+  const auto demand = traffic::TrafficMatrix::from_pattern(
+      traffic::Pattern::kUniformRandom, 8, 0.02);
+  sim::SimConfig config;
+  config.measure_cycles = 2000000;  // far more than the deadline allows
+  RunControl control(nullptr, Deadline::after_seconds(0.0));
+  config.control = &control;
+  const auto stats = exp::simulate_design(design, demand, config);
+  EXPECT_EQ(stats.status, RunStatus::kDeadline);
+  // An early stop is reported as a note at most, never an undrained-run
+  // saturation WARNING; when packets were left in flight the call also
+  // must not claim the run drained.
+  ::testing::internal::CaptureStderr();
+  const bool drained_ok = exp::warn_if_undrained(stats, "runctl_test");
+  const std::string warn_output = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(warn_output.find("WARNING"), std::string::npos) << warn_output;
+  if (!stats.drained) {
+    EXPECT_FALSE(drained_ok);
+    EXPECT_NE(warn_output.find("stopped early"), std::string::npos);
+  }
+  // The truncated run still yields a consistent, serializable document.
+  EXPECT_GE(stats.activity.measured_cycles, 1);
+  EXPECT_LT(stats.activity.measured_cycles, config.measure_cycles);
+  const auto doc = sim::stats_to_json(stats);
+  ASSERT_NE(doc.find("status"), nullptr);
+  EXPECT_EQ(doc.find("status")->as_string(), "deadline");
+}
+
+TEST(SimDeadlineTest, UndrainedEarlyStopIsANoteNotAWarning) {
+  // Deterministic check of the reporting branch itself: an early-stopped
+  // run with packets in flight notes the truncation instead of issuing
+  // the saturation WARNING a completed undrained run would earn.
+  sim::SimStats stats;
+  stats.status = RunStatus::kDeadline;
+  stats.drained = false;
+  stats.packets_offered = 10;
+  stats.packets_finished = 4;
+  ::testing::internal::CaptureStderr();
+  EXPECT_FALSE(exp::warn_if_undrained(stats, "runctl_test"));
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("WARNING"), std::string::npos) << out;
+  EXPECT_NE(out.find("stopped early (deadline)"), std::string::npos) << out;
+
+  stats.status = RunStatus::kCompleted;
+  ::testing::internal::CaptureStderr();
+  EXPECT_FALSE(exp::warn_if_undrained(stats, "runctl_test"));
+  const std::string warn = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(warn.find("WARNING"), std::string::npos) << warn;
+}
+
+TEST(SimDeadlineTest, CompletedRunStillReportsCompleted) {
+  const topo::RowTopology row(4);
+  const topo::ExpressMesh design = topo::make_design(row, 2);
+  const auto demand = traffic::TrafficMatrix::from_pattern(
+      traffic::Pattern::kUniformRandom, 4, 0.01);
+  sim::SimConfig config;
+  config.measure_cycles = 2000;
+  CancelToken token;  // installed but never fired
+  RunControl control(&token);
+  config.control = &control;
+  const auto stats = exp::simulate_design(design, demand, config);
+  EXPECT_EQ(stats.status, RunStatus::kCompleted);
+  EXPECT_EQ(stats.activity.measured_cycles, config.measure_cycles);
+}
+
+}  // namespace
+}  // namespace xlp

@@ -12,6 +12,8 @@
 //   xlp appspec   --workload canneal [--n 8] [--moves 2000] [--seed 1]
 //   xlp run       --n 8 --c 4 [--moves 10000] [--pattern uniform_random]
 //                 [--load 0.02] [--cycles 10000] [--seed 1]
+//                 [--checkpoint ck.json] [--checkpoint-every 10000]
+//                 [--resume ck.json]
 //   xlp faults    --n 8 --c 4 [--kill-express 1] [--at-cycle 2000]
 //                 [--recover-at -1] [--trials 10] [--load 0.02]
 //                 [--policy drop|drain] [--retries 3] [--rel-weight 0.3]
@@ -29,12 +31,28 @@
 //   --metrics <file.json>  dump the global metrics registry after the run
 //   --stats-json <file>    full SimStats serialization (simulate/replay/run)
 //
-// Every subcommand prints a short human-readable report; exit code 0 on
-// success, 1 on usage errors.
+// Run control (see docs/resilience.md):
+//   --time-limit <seconds>     wall-clock budget; searches and simulations
+//                              stop at the deadline and report best-so-far
+//   --checkpoint <file.json>   (solve/run) periodically persist annealer
+//                              state, atomically, plus once on any early stop
+//   --checkpoint-every <moves> sink cadence in SA moves (default 10000)
+//   --resume <file.json>       (run) continue from a checkpoint; with the
+//                              same seed the result is bit-identical to an
+//                              uninterrupted run
+//   SIGINT/SIGTERM request a cooperative stop: the current best solution is
+//   reported (and checkpointed) before exit; a second signal kills outright.
+//
+// Every subcommand prints a short human-readable report. Exit codes:
+//   0    success (including runs stopped gracefully by --time-limit)
+//   1    domain failure (I/O, malformed input, simulation error)
+//   2    usage error (unknown command/flag values, bad preconditions)
+//   130  interrupted by SIGINT/SIGTERM (best-effort results were saved)
 
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -53,6 +71,8 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "power/model.hpp"
+#include "runctl/checkpoint.hpp"
+#include "runctl/control.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats_json.hpp"
 #include "topo/builders.hpp"
@@ -60,11 +80,16 @@
 #include "traffic/patterns.hpp"
 #include "traffic/trace.hpp"
 #include "util/args.hpp"
+#include "util/error.hpp"
+#include "util/fsio.hpp"
 #include "util/table.hpp"
 
 using namespace xlp;
 
 namespace {
+
+constexpr int kExitUsage = 2;
+constexpr int kExitInterrupted = 130;
 
 int usage() {
   std::fprintf(stderr,
@@ -72,7 +97,49 @@ int usage() {
                "faults|bench> "
                "[options]\n(see the header of tools/xlp_cli.cpp for the "
                "full option list)\n");
-  return 1;
+  return kExitUsage;
+}
+
+/// Process-wide cancellation token, flipped by SIGINT/SIGTERM. Lives at
+/// file scope so the async-signal-safe handler can reach it.
+runctl::CancelToken g_cancel_token;
+
+/// Builds the RunControl every command threads into its loops: the shared
+/// signal token plus the optional `--time-limit <seconds>` deadline.
+runctl::RunControl make_run_control(const Args& args) {
+  runctl::Deadline deadline;
+  const double limit = args.get_double("time-limit", 0.0);
+  if (limit > 0.0) deadline = runctl::Deadline::after_seconds(limit);
+  return runctl::RunControl(&g_cancel_token, deadline);
+}
+
+/// Prints (and traces) how a search or simulation phase ended; quiet for
+/// normal completion.
+void report_status(runctl::RunStatus status, const char* phase,
+                   obs::TraceSink& sink) {
+  if (sink.enabled())
+    sink.emit("run.status", obs::Json::object()
+                                .set("phase", phase)
+                                .set("status", runctl::to_string(status)));
+  if (status != runctl::RunStatus::kCompleted)
+    std::printf("  status:    %s stopped early (%s); results are "
+                "best-so-far\n",
+                phase, runctl::to_string(status));
+}
+
+/// Checkpoint sink for single-chain annealing runs: persists every
+/// snapshot atomically to `path`. Periodic write failures warn instead of
+/// killing the search.
+std::function<void(const runctl::SaCheckpoint&)> checkpoint_file_sink(
+    std::string path) {
+  if (path.empty()) return {};
+  return [path = std::move(path)](const runctl::SaCheckpoint& ck) {
+    try {
+      runctl::save_sa_checkpoint(path, ck);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "warning: %s\n", e.what());
+    }
+  };
 }
 
 /// Owns the optional `--trace <file.jsonl>` output: the stream plus the
@@ -165,8 +232,14 @@ int cmd_solve(const Args& args) {
 
   const core::RowObjective objective(n, route::HopWeights{});
   TraceOutput trace(args);
+  runctl::RunControl control = make_run_control(args);
+  const std::string checkpoint_path = args.get_or("checkpoint", "");
+  const long checkpoint_every = args.get_long("checkpoint-every", 10000);
   core::SaParams params = core::SaParams{}.with_moves(moves);
   params.observer = sa_trace_observer(trace.sink());
+  params.control = &control;
+  params.checkpoint_sink = checkpoint_file_sink(checkpoint_path);
+  params.checkpoint_every_moves = checkpoint_every;
   Rng rng(seed);
 
   core::PlacementResult result;
@@ -174,6 +247,10 @@ int cmd_solve(const Args& args) {
     core::PortfolioOptions options;
     options.chains = chains;
     options.sa = params;
+    options.sa.checkpoint_sink = {};  // the portfolio wires its own sinks
+    options.control = control;
+    options.checkpoint_path = checkpoint_path;
+    options.checkpoint_every_moves = checkpoint_every;
     options.solver = method == "dcsa" ? core::Solver::kDcsa
                                       : core::Solver::kOnlySa;
     auto portfolio = core::solve_portfolio(n, route::HopWeights{},
@@ -181,20 +258,24 @@ int cmd_solve(const Args& args) {
     std::printf("portfolio of %d chains finished in %.3f s (%ld evals)\n",
                 chains, portfolio.seconds, portfolio.total_evaluations);
     result = std::move(portfolio.best);
+    result.status = portfolio.status;
   } else if (method == "dcsa") {
     result = core::solve_dcsa(objective, c, params, rng);
   } else if (method == "onlysa") {
     result = core::solve_only_sa(objective, c, params, rng);
   } else if (method == "dnc") {
-    result = core::solve_dnc_only(objective, c);
+    core::DncOptions dnc;
+    dnc.control = &control;
+    result = core::solve_dnc_only(objective, c, dnc);
   } else if (method == "exact") {
-    core::BranchAndBound bb(objective, c);
+    core::BranchAndBound bb(objective, c, &control);
     const auto exact = bb.solve();
     result = {exact.placement, exact.value, objective.evaluations(), 0.0,
               "exact"};
+    result.status = exact.status;
   } else {
     std::fprintf(stderr, "unknown --method %s\n", method.c_str());
-    return 1;
+    return kExitUsage;
   }
 
   std::printf("P̄(%d,%d) via %s\n", n, c, result.method.c_str());
@@ -204,6 +285,11 @@ int cmd_solve(const Args& args) {
               objective.evaluate(topo::RowTopology(n)));
   std::printf("  cost:      %ld evaluations, %.3f s\n", result.evaluations,
               result.seconds);
+  report_status(result.status, "solve", trace.sink());
+  if (!checkpoint_path.empty() &&
+      result.status != runctl::RunStatus::kCompleted)
+    std::printf("  checkpoint: %s (resume with `xlp run --resume %s`)\n",
+                checkpoint_path.c_str(), checkpoint_path.c_str());
   trace.report();
   return 0;
 }
@@ -258,6 +344,8 @@ int cmd_simulate(const Args& args) {
 
   TraceOutput trace(args);
   config.trace = trace.sink_or_null();
+  runctl::RunControl control = make_run_control(args);
+  config.control = &control;
   const auto stats = exp::simulate_design(design, demand, config);
   std::printf("design %s C=%d (%d-bit flits), %s @ %.3f pkt/node/cycle, "
               "routing %s%s\n",
@@ -278,6 +366,7 @@ int cmd_simulate(const Args& args) {
   std::printf("  power %.3f W (%.3f dynamic, %.3f static)\n", power.total(),
               power.dynamic_total(), power.static_total());
   exp::warn_if_undrained(stats, "xlp simulate");
+  report_status(stats.status, "simulate", trace.sink());
   write_stats_if_requested(args, stats);
   trace.report();
   return 0;
@@ -293,9 +382,10 @@ int cmd_trace(const Args& args) {
   const auto trace = traffic::Trace::sample(
       demand, latency::PacketMix::paper_default(),
       args.get_long("cycles", 10000), rng);
-  std::ofstream out(out_path);
-  XLP_REQUIRE(out.good(), "cannot open " + out_path);
+  std::ostringstream out;
   trace.save(out);
+  if (!util::atomic_write_file(out_path, out.str()))
+    throw Error(ErrorCode::kIo, "cannot write " + out_path);
   std::printf("wrote %zu packets over %ld cycles to %s\n",
               trace.packets().size(), trace.duration(), out_path.c_str());
   return 0;
@@ -312,7 +402,10 @@ int cmd_replay(const Args& args) {
   const topo::RowTopology row(trace.side(),
                               parse_links(args.get_or("links", "")));
   const topo::ExpressMesh design = topo::make_design(row, c);
-  const auto stats = exp::replay_trace(design, trace, sim::SimConfig{});
+  runctl::RunControl control = make_run_control(args);
+  sim::SimConfig replay_config;
+  replay_config.control = &control;
+  const auto stats = exp::replay_trace(design, trace, replay_config);
   std::printf("replayed %ld packets on %s (C=%d): avg %.2f cycles, p99 "
               "%.0f, drained %s\n",
               stats.packets_finished, row.to_string().c_str(), c,
@@ -323,27 +416,110 @@ int cmd_replay(const Args& args) {
   return 0;
 }
 
+/// Rebuilds core::SaParams schedule fields from a checkpoint's embedded
+/// schedule so a resumed portfolio replays the same temperature curve.
+core::SaParams schedule_from_checkpoint(const runctl::SaSchedule& s) {
+  core::SaParams params;
+  params.initial_temperature = s.initial_temperature;
+  params.total_moves = s.total_moves;
+  params.cool_scale = s.cool_scale;
+  params.moves_per_cool = s.moves_per_cool;
+  return params;
+}
+
 /// End-to-end instrumented flow: optimize a placement with D&C_SA (tracing
 /// every cooling step), then simulate the resulting design (tracing
 /// progress and the channel heatmap) — the one-command way to produce a
-/// full telemetry bundle for an n x n platform.
+/// full telemetry bundle for an n x n platform. With --resume the solve
+/// phase continues a saved checkpoint (single-chain or portfolio) instead
+/// of starting fresh; if the search is stopped early again, the
+/// simulation phase is skipped and the refreshed checkpoint reported.
 int cmd_run(const Args& args) {
-  const int n = static_cast<int>(args.get_long("n", 8));
-  const int c = static_cast<int>(args.get_long("c", 4));
-  const long moves = args.get_long("moves", 10000);
-  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
-
   TraceOutput trace(args);
+  runctl::RunControl control = make_run_control(args);
+  const std::string checkpoint_path = args.get_or("checkpoint", "");
+  const long checkpoint_every = args.get_long("checkpoint-every", 10000);
+  const std::string resume_path = args.get_or("resume", "");
 
-  const core::RowObjective objective(n, route::HopWeights{});
-  core::SaParams params = core::SaParams{}.with_moves(moves);
-  params.observer = sa_trace_observer(trace.sink());
-  Rng rng(seed);
-  const auto result = core::solve_dcsa(objective, c, params, rng);
+  int n = static_cast<int>(args.get_long("n", 8));
+  int c = static_cast<int>(args.get_long("c", 4));
+  auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+
+  core::PlacementResult result;
+  if (!resume_path.empty()) {
+    const runctl::CheckpointFile file =
+        runctl::load_checkpoint_file(resume_path);
+    // Where the checkpoint can be refreshed: an explicit --checkpoint
+    // wins, otherwise continue writing the file we resumed from.
+    const std::string refresh =
+        checkpoint_path.empty() ? resume_path : checkpoint_path;
+    if (file.sa) {
+      n = file.sa->n;
+      c = file.sa->link_limit;
+      const core::RowObjective objective(n, route::HopWeights{});
+      core::SaParams hooks;
+      hooks.observer = sa_trace_observer(trace.sink());
+      hooks.control = &control;
+      hooks.checkpoint_sink = checkpoint_file_sink(refresh);
+      hooks.checkpoint_every_moves = checkpoint_every;
+      result = core::resume_sa(objective, *file.sa, hooks);
+      std::printf("resumed %s from %s at move %ld/%ld\n",
+                  result.method.c_str(), resume_path.c_str(),
+                  file.sa->next_move, file.sa->schedule.total_moves);
+    } else {
+      const runctl::PortfolioCheckpoint& pc = *file.portfolio;
+      n = pc.n;
+      c = pc.link_limit;
+      seed = pc.seed;
+      core::PortfolioOptions options;
+      options.chains = pc.chains;
+      options.sa = schedule_from_checkpoint(pc.schedule);
+      options.sa.observer = sa_trace_observer(trace.sink());
+      options.solver = pc.solver == "onlysa" ? core::Solver::kOnlySa
+                                             : core::Solver::kDcsa;
+      options.control = control;
+      options.checkpoint_path = refresh;
+      options.checkpoint_every_moves = checkpoint_every;
+      options.resume = &pc;
+      auto portfolio = core::solve_portfolio(n, route::HopWeights{},
+                                             std::nullopt, c, options, seed);
+      std::printf("resumed portfolio of %d chains from %s (%.3f s, %ld "
+                  "evals)\n",
+                  pc.chains, resume_path.c_str(), portfolio.seconds,
+                  portfolio.total_evaluations);
+      result = std::move(portfolio.best);
+      result.status = portfolio.status;
+    }
+  } else {
+    const core::RowObjective objective(n, route::HopWeights{});
+    core::SaParams params =
+        core::SaParams{}.with_moves(args.get_long("moves", 10000));
+    params.observer = sa_trace_observer(trace.sink());
+    params.control = &control;
+    params.checkpoint_sink = checkpoint_file_sink(checkpoint_path);
+    params.checkpoint_every_moves = checkpoint_every;
+    Rng rng(seed);
+    result = core::solve_dcsa(objective, c, params, rng);
+  }
   std::printf("P̄(%d,%d) via %s: %s at %.4f cycles (%ld evals, %.3f s)\n", n,
               c, result.method.c_str(),
               result.placement.to_string().c_str(), result.value,
               result.evaluations, result.seconds);
+  report_status(result.status, "solve", trace.sink());
+  if (result.status != runctl::RunStatus::kCompleted) {
+    // The search was cut short: skip the simulation phase (its input is
+    // only the best-so-far placement) and point at the saved state.
+    const std::string saved =
+        !checkpoint_path.empty()
+            ? checkpoint_path
+            : (!resume_path.empty() ? resume_path : std::string());
+    if (!saved.empty())
+      std::printf("  checkpoint: %s (resume with `xlp run --resume %s`)\n",
+                  saved.c_str(), saved.c_str());
+    std::printf("  simulation skipped (solve phase did not complete)\n");
+    trace.report();
+    return 0;
+  }
 
   const topo::ExpressMesh design = topo::make_design(result.placement, c);
   const std::string pattern = args.get_or("pattern", "uniform_random");
@@ -354,6 +530,7 @@ int cmd_run(const Args& args) {
   config.measure_cycles = args.get_long("cycles", 10000);
   config.seed = seed;
   config.trace = trace.sink_or_null();
+  config.control = &control;
   const auto stats = exp::simulate_design(design, demand, config);
   std::printf("simulated %s @ %.3f pkt/node/cycle: avg %.2f  p95 %.0f  p99 "
               "%.0f cycles, ci95 ±%.2f, drained %s\n",
@@ -361,6 +538,7 @@ int cmd_run(const Args& args) {
               stats.p99_latency, stats.ci95_latency,
               stats.drained ? "yes" : "NO");
   exp::warn_if_undrained(stats, "xlp run");
+  report_status(stats.status, "simulate", trace.sink());
   write_stats_if_requested(args, stats);
   trace.report();
   return 0;
@@ -413,10 +591,8 @@ int cmd_faults(const Args& args) {
 
   if (const std::string json_path = args.get_or("json", "");
       !json_path.empty()) {
-    obs::ensure_parent_dir(json_path);
-    std::ofstream out(json_path);
-    XLP_REQUIRE(out.good(), "cannot open " + json_path);
-    out << result.to_json().dump() << "\n";
+    if (!util::atomic_write_file(json_path, result.to_json().dump() + "\n"))
+      throw Error(ErrorCode::kIo, "cannot write " + json_path);
     std::printf("  json: %s written\n", json_path.c_str());
   }
   trace.report();
@@ -466,9 +642,10 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const Args args(argc - 1, argv + 1);
+  runctl::install_signal_handlers(g_cancel_token);
 
+  int rc;
   try {
-    int rc = 1;
     if (command == "solve") rc = cmd_solve(args);
     else if (command == "sweep") rc = cmd_sweep(args);
     else if (command == "simulate") rc = cmd_simulate(args);
@@ -495,9 +672,22 @@ int main(int argc, char** argv) {
       for (const auto& key : unknown)
         std::fprintf(stderr, "warning: unused option --%s\n", key.c_str());
     }
-    return rc;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return e.code() == ErrorCode::kUsage ? kExitUsage : 1;
+  } catch (const PreconditionError& e) {
+    // Violated preconditions at the CLI boundary are bad arguments.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitUsage;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+
+  // A SIGINT/SIGTERM stop is still the conventional 130 at the process
+  // level, even though the command drained gracefully and saved its state.
+  if (rc == 0 && g_cancel_token.cancelled() &&
+      g_cancel_token.reason() == runctl::RunStatus::kInterrupted)
+    return kExitInterrupted;
+  return rc;
 }
