@@ -15,6 +15,7 @@
 #include "core/dnc.hpp"
 #include "core/drivers.hpp"
 #include "core/objective.hpp"
+#include "core/portfolio.hpp"
 #include "core/sa.hpp"
 #include "exp/fault_campaign.hpp"
 #include "exp/scenarios.hpp"
@@ -27,6 +28,7 @@
 #include "traffic/matrix.hpp"
 #include "util/numeric.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 
 namespace xlp::bench {
 
@@ -248,6 +250,82 @@ void scalability_point(int n, long moves, BenchRun& run) {
                   -percent_change(best.breakdown.total(), mesh_total));
 }
 
+// Thread-scaling curve of the parallel portfolio: the same 8-chain solve
+// at 1/2/4/8 workers. Recorded, not gated — the speedup counters land in
+// BENCH_scalability.json so regressions in the parallel layer are visible
+// in the history. Also asserts (as a counter) the determinism contract:
+// every thread count must produce the identical best value.
+void portfolio_speedup_point(int n, int chains, long moves, BenchRun& run) {
+  obs::Json curve = obs::Json::array();
+  double baseline_seconds = 0.0;
+  double first_value = 0.0;
+  bool deterministic = true;
+  for (const int threads : {1, 2, 4, 8}) {
+    core::PortfolioOptions options;
+    options.chains = chains;
+    options.threads = threads;
+    options.sa = exp::paper_sa_params().with_moves(moves);
+    Stopwatch timer;
+    const auto result = core::solve_portfolio(n, route::HopWeights{},
+                                              std::nullopt, 4, options, 42);
+    const double seconds = timer.seconds();
+    if (threads == 1) {
+      baseline_seconds = seconds;
+      first_value = result.best.value;
+    }
+    deterministic = deterministic && result.best.value == first_value;
+    const double speedup = seconds > 0.0 ? baseline_seconds / seconds : 0.0;
+    curve.push(obs::Json::object()
+                   .set("threads", threads)
+                   .set("seconds", seconds)
+                   .set("speedup", speedup)
+                   .set("best_value", result.best.value));
+    run.set_counter("speedup_" + std::to_string(threads) + "t", speedup);
+  }
+  g_sink = first_value;
+  run.set_counter("deterministic", deterministic ? 1.0 : 0.0);
+  run.set_items(4L * chains * moves);
+  run.set_payload(obs::Json::object()
+                      .set("n", n)
+                      .set("chains", chains)
+                      .set("moves", moves)
+                      .set("threads_curve", std::move(curve)));
+}
+
+// Same curve for the fault campaign's simulation cells.
+void campaign_speedup_point(int n, int trials, BenchRun& run) {
+  obs::Json curve = obs::Json::array();
+  double baseline_seconds = 0.0;
+  std::string first_json;
+  bool deterministic = true;
+  for (const int threads : {1, 2, 4, 8}) {
+    exp::FaultCampaignConfig config;
+    config.n = n;
+    config.trials = trials;
+    config.fault_cycle = 1000;
+    config.threads = threads;
+    Stopwatch timer;
+    const std::string json = exp::run_fault_campaign(config).to_json().dump();
+    const double seconds = timer.seconds();
+    if (threads == 1) {
+      baseline_seconds = seconds;
+      first_json = json;
+    }
+    deterministic = deterministic && json == first_json;
+    const double speedup = seconds > 0.0 ? baseline_seconds / seconds : 0.0;
+    curve.push(obs::Json::object()
+                   .set("threads", threads)
+                   .set("seconds", seconds)
+                   .set("speedup", speedup));
+    run.set_counter("speedup_" + std::to_string(threads) + "t", speedup);
+  }
+  run.set_counter("deterministic", deterministic ? 1.0 : 0.0);
+  run.set_payload(obs::Json::object()
+                      .set("n", n)
+                      .set("trials", trials)
+                      .set("threads_curve", std::move(curve)));
+}
+
 void register_scalability() {
   for (const int n : {4, 8, 16, 24, 32}) {
     const long moves = std::max<long>(
@@ -258,6 +336,14 @@ void register_scalability() {
                      scalability_point(n, n == 4 ? 200 : moves, run);
                    });
   }
+  register_bench("scalability", "portfolio_speedup_8x8", "smoke",
+                 [](BenchRun& run) {
+                   const long moves = std::max<long>(
+                       500, static_cast<long>(10000 * exp::bench_scale()));
+                   portfolio_speedup_point(8, 8, moves, run);
+                 });
+  register_bench("scalability", "campaign_speedup_8x8", "full",
+                 [](BenchRun& run) { campaign_speedup_point(8, 8, run); });
 }
 
 void fault_point(const exp::FaultCampaignConfig& config, BenchRun& run) {

@@ -3,8 +3,58 @@
 #include <algorithm>
 
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace xlp::core {
+
+namespace {
+
+/// Feasible sweep cells: the valid link limits that keep the flit an
+/// integer number of bits.
+std::vector<int> feasible_limits(int n, int base_flit_bits) {
+  std::vector<int> limits;
+  for (const int limit : topo::valid_link_limits(n))
+    if (base_flit_bits % limit == 0) limits.push_back(limit);
+  return limits;
+}
+
+PlacementResult solve_cell(const RowObjective& objective, int limit,
+                           const SweepOptions& options, const SaParams& sa,
+                           const DncOptions& dnc, Rng& rng) {
+  switch (options.solver) {
+    case Solver::kOnlySa:
+      return solve_only_sa(objective, limit, sa, rng);
+    case Solver::kDncOnly:
+      return solve_dnc_only(objective, limit, dnc);
+    case Solver::kDcsa:
+    default:
+      return solve_dcsa(objective, limit, sa, rng, dnc);
+  }
+}
+
+/// Per-cell copies of the caller's run controls. SaParams/DncOptions carry
+/// RunControl pointers whose poll stride is thread-local state, so a cell
+/// running on a pool worker must never share the caller's object — it
+/// copies it (token/deadline stay shared) and repoints the params.
+struct CellControl {
+  runctl::RunControl sa_control;
+  runctl::RunControl dnc_control;
+  SaParams sa;
+  DncOptions dnc;
+
+  CellControl(const SweepOptions& options) : sa(options.sa), dnc(options.dnc) {
+    if (options.sa.control != nullptr) {
+      sa_control = *options.sa.control;
+      sa.control = &sa_control;
+    }
+    if (options.dnc.control != nullptr) {
+      dnc_control = *options.dnc.control;
+      dnc.control = &dnc_control;
+    }
+  }
+};
+
+}  // namespace
 
 latency::LatencyBreakdown evaluate_design(
     const topo::ExpressMesh& design, const latency::LatencyParams& params,
@@ -22,32 +72,39 @@ latency::LatencyBreakdown evaluate_design(
 std::vector<SweepPoint> sweep_link_limits(int n, const SweepOptions& options,
                                           Rng& rng) {
   XLP_REQUIRE(n >= 2, "network side must be at least 2");
-  const RowObjective objective(n, options.latency.hop);
+  const std::vector<int> limits = feasible_limits(n, options.base_flit_bits);
+  XLP_CHECK(!limits.empty(), "no feasible link limit found");
 
-  std::vector<SweepPoint> points;
-  for (const int limit : topo::valid_link_limits(n)) {
-    if (options.base_flit_bits % limit != 0) continue;
+  // One decorrelated stream per cell, forked up front in cell order: the
+  // sweep result is a function of the caller's rng state alone, identical
+  // for any thread count, and the caller's rng advances the same way
+  // whether or not the cells run concurrently.
+  std::vector<Rng> streams;
+  streams.reserve(limits.size());
+  for (std::size_t i = 0; i < limits.size(); ++i)
+    streams.push_back(rng.fork(static_cast<std::uint64_t>(i)));
 
-    PlacementResult placement = [&] {
-      switch (options.solver) {
-        case Solver::kOnlySa:
-          return solve_only_sa(objective, limit, options.sa, rng);
-        case Solver::kDncOnly:
-          return solve_dnc_only(objective, limit, options.dnc);
-        case Solver::kDcsa:
-        default:
-          return solve_dcsa(objective, limit, options.sa, rng, options.dnc);
-      }
-    }();
+  std::vector<SweepPoint> points(limits.size());
+  util::ThreadPool pool(
+      std::min(util::resolve_thread_count(options.threads),
+               static_cast<int>(limits.size())));
+  pool.parallel_for(static_cast<long>(limits.size()), [&](long i) {
+    const int limit = limits[static_cast<std::size_t>(i)];
+    // Per-cell objective: its evaluation counter is not shareable across
+    // threads (solvers report per-call deltas, so counts are unchanged).
+    const RowObjective objective(n, options.latency.hop);
+    CellControl cell(options);
 
+    PlacementResult placement =
+        solve_cell(objective, limit, options, cell.sa, cell.dnc,
+                   streams[static_cast<std::size_t>(i)]);
     topo::ExpressMesh design = topo::make_design(placement.placement, limit,
                                                  options.base_flit_bits);
     latency::LatencyBreakdown breakdown =
         evaluate_design(design, options.latency, options.report_traffic);
-    points.push_back({limit, std::move(placement), std::move(design),
-                      breakdown});
-  }
-  XLP_CHECK(!points.empty(), "no feasible link limit found");
+    points[static_cast<std::size_t>(i)] = {limit, std::move(placement),
+                                           std::move(design), breakdown};
+  });
   return points;
 }
 
@@ -56,30 +113,36 @@ std::vector<SweepPoint> sweep_link_limits_rect(int width, int height,
                                                Rng& rng) {
   XLP_REQUIRE(width >= 2 && height >= 2,
               "network dimensions must be at least 2");
-  const RowObjective row_objective(width, options.latency.hop);
-  const RowObjective col_objective(height, options.latency.hop);
+  const std::vector<int> limits =
+      feasible_limits(std::max(width, height), options.base_flit_bits);
+  XLP_CHECK(!limits.empty(), "no feasible link limit found");
 
-  auto solve = [&](const RowObjective& objective, int limit) {
-    switch (options.solver) {
-      case Solver::kOnlySa:
-        return solve_only_sa(objective, limit, options.sa, rng);
-      case Solver::kDncOnly:
-        return solve_dnc_only(objective, limit, options.dnc);
-      case Solver::kDcsa:
-      default:
-        return solve_dcsa(objective, limit, options.sa, rng, options.dnc);
-    }
-  };
+  std::vector<Rng> streams;
+  streams.reserve(limits.size());
+  for (std::size_t i = 0; i < limits.size(); ++i)
+    streams.push_back(rng.fork(static_cast<std::uint64_t>(i)));
 
-  std::vector<SweepPoint> points;
-  for (const int limit : topo::valid_link_limits(std::max(width, height))) {
-    if (options.base_flit_bits % limit != 0) continue;
+  std::vector<SweepPoint> points(limits.size());
+  util::ThreadPool pool(
+      std::min(util::resolve_thread_count(options.threads),
+               static_cast<int>(limits.size())));
+  pool.parallel_for(static_cast<long>(limits.size()), [&](long i) {
+    const int limit = limits[static_cast<std::size_t>(i)];
+    const RowObjective row_objective(width, options.latency.hop);
+    const RowObjective col_objective(height, options.latency.hop);
+    CellControl cell(options);
+    Rng& stream = streams[static_cast<std::size_t>(i)];
 
-    // Each dimension can only use cross-section up to its own C_full.
+    // Each dimension can only use cross-section up to its own C_full; the
+    // two solves share the cell's stream sequentially (rows then columns).
     const int row_limit = std::min(limit, topo::full_link_limit(width));
     const int col_limit = std::min(limit, topo::full_link_limit(height));
-    PlacementResult row_placement = solve(row_objective, row_limit);
-    PlacementResult col_placement = solve(col_objective, col_limit);
+    PlacementResult row_placement =
+        solve_cell(row_objective, row_limit, options, cell.sa, cell.dnc,
+                   stream);
+    PlacementResult col_placement =
+        solve_cell(col_objective, col_limit, options, cell.sa, cell.dnc,
+                   stream);
 
     topo::ExpressMesh design = topo::make_rect_design(
         row_placement.placement, col_placement.placement, limit,
@@ -92,9 +155,8 @@ std::vector<SweepPoint> sweep_link_limits_rect(int width, int height,
     point.placement.evaluations += col_placement.evaluations;
     point.design = std::move(design);
     point.breakdown = breakdown;
-    points.push_back(std::move(point));
-  }
-  XLP_CHECK(!points.empty(), "no feasible link limit found");
+    points[static_cast<std::size_t>(i)] = std::move(point);
+  });
   return points;
 }
 

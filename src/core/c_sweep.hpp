@@ -33,6 +33,13 @@ struct SweepOptions {
   /// matrix (e.g. the PARSEC-average workload); the *placement* is still
   /// optimized for the uniform general-purpose objective, as in the paper.
   std::optional<traffic::TrafficMatrix> report_traffic;
+  /// Pool workers for the per-limit cells (each limit is independent).
+  /// 0 = util::default_thread_count(); always additionally capped by the
+  /// number of feasible limits. Every cell draws from its own stream
+  /// forked off the caller's rng in cell order, so the sweep result and
+  /// the caller's rng state afterwards are identical for any thread count
+  /// (see docs/parallelism.md).
+  int threads = 0;
 };
 
 /// The paper's overall flow (Section 4, opening): enumerate the possible

@@ -1,11 +1,12 @@
 #include "core/portfolio.hpp"
 
+#include <limits>
 #include <mutex>
-#include <thread>
 
 #include "obs/metrics.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/stopwatch.hpp"
 
 namespace xlp::core {
@@ -48,6 +49,10 @@ PortfolioResult solve_portfolio(
   Stopwatch timer;
   std::vector<PlacementResult> results(
       static_cast<std::size_t>(options.chains));
+  // Which chains actually ran; a cancellation can skip queued chains
+  // entirely (their checkpoint entry then stays nullopt and resume
+  // restarts them from scratch, deterministically).
+  std::vector<std::uint8_t> ran(static_cast<std::size_t>(options.chains), 0);
 
   // Latest per-chain annealer snapshot, fed by the checkpoint sinks. Only
   // SA solvers produce snapshots; for kDncOnly all entries stay nullopt.
@@ -69,84 +74,118 @@ PortfolioResult solve_portfolio(
     return pc;
   };
 
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(options.chains));
+  const auto run_chain = [&](long chain) {
+    // Per-chain wall time lands in the shared (thread-safe) registry.
+    const obs::ScopedTimer chain_timer(obs::MetricsRegistry::global(),
+                                       "core.portfolio.chain_seconds");
+    // Per-chain objective (evaluation counters are not shareable across
+    // threads) and a decorrelated per-chain stream: the result is a
+    // function of (seed, chain index) alone, never of which pool worker
+    // picked the chain up or how many workers there are.
+    const RowObjective objective =
+        pair_weights ? RowObjective(row_size, hop_weights, *pair_weights)
+                     : RowObjective(row_size, hop_weights);
+    Rng base(seed);
+    Rng rng = base.fork(static_cast<std::uint64_t>(chain));
 
-  for (int chain = 0; chain < options.chains; ++chain) {
-    workers.emplace_back([&, chain] {
-      // Per-chain wall time lands in the shared (thread-safe) registry.
-      const obs::ScopedTimer chain_timer(obs::MetricsRegistry::global(),
-                                         "core.portfolio.chain_seconds");
-      // Per-chain objective (evaluation counters are not shareable across
-      // threads) and a decorrelated per-chain stream.
-      const RowObjective objective =
-          pair_weights ? RowObjective(row_size, hop_weights, *pair_weights)
-                       : RowObjective(row_size, hop_weights);
-      Rng base(seed);
-      Rng rng = base.fork(static_cast<std::uint64_t>(chain));
+    // Every chain gets a private copy of the control so the deadline
+    // poll stride is thread-local; the cancel token stays shared.
+    runctl::RunControl control = options.control;
 
-      // Every worker gets a private copy of the control so the deadline
-      // poll stride is thread-local; the cancel token stays shared.
-      runctl::RunControl control = options.control;
-
-      SaParams sa = options.sa;
-      sa.control = &control;
-      sa.checkpoint_every_moves = options.checkpoint_every_moves;
-      sa.checkpoint_sink = [&, chain](const runctl::SaCheckpoint& ck) {
-        const std::lock_guard<std::mutex> lock(ckpt_mutex);
-        latest[static_cast<std::size_t>(chain)] = ck;
-        // Chain 0 is the designated writer so the file cadence does not
-        // multiply with the chain count. Periodic writes are best-effort:
-        // a full disk must not kill the search.
-        if (chain == 0 && !options.checkpoint_path.empty()) {
-          try {
-            save_portfolio_checkpoint(options.checkpoint_path,
-                                      snapshot_portfolio());
-          } catch (const Error&) {
-          }
+    SaParams sa = options.sa;
+    sa.control = &control;
+    sa.checkpoint_every_moves = options.checkpoint_every_moves;
+    sa.checkpoint_sink = [&, chain](const runctl::SaCheckpoint& ck) {
+      const std::lock_guard<std::mutex> lock(ckpt_mutex);
+      latest[static_cast<std::size_t>(chain)] = ck;
+      // Chain 0 is the designated writer so the file cadence does not
+      // multiply with the chain count. Periodic writes are best-effort:
+      // a full disk must not kill the search.
+      if (chain == 0 && !options.checkpoint_path.empty()) {
+        try {
+          save_portfolio_checkpoint(options.checkpoint_path,
+                                    snapshot_portfolio());
+        } catch (const Error&) {
         }
-      };
-      DncOptions dnc = options.dnc;
-      dnc.control = &control;
-
-      const std::optional<runctl::SaCheckpoint>* resume_state = nullptr;
-      if (options.resume != nullptr)
-        resume_state =
-            &options.resume->chain_states[static_cast<std::size_t>(chain)];
-
-      auto& slot = results[static_cast<std::size_t>(chain)];
-      switch (options.solver) {
-        case Solver::kOnlySa:
-          slot = (resume_state && *resume_state)
-                     ? resume_sa(objective, **resume_state, sa)
-                     : solve_only_sa(objective, link_limit, sa, rng);
-          break;
-        case Solver::kDncOnly:
-          slot = solve_dnc_only(objective, link_limit, dnc);
-          break;
-        case Solver::kDcsa:
-        default:
-          slot = (resume_state && *resume_state)
-                     ? resume_sa(objective, **resume_state, sa)
-                     : solve_dcsa(objective, link_limit, sa, rng, dnc);
-          break;
       }
-    });
+    };
+    DncOptions dnc = options.dnc;
+    dnc.control = &control;
+
+    const std::optional<runctl::SaCheckpoint>* resume_state = nullptr;
+    if (options.resume != nullptr)
+      resume_state =
+          &options.resume->chain_states[static_cast<std::size_t>(chain)];
+
+    auto& slot = results[static_cast<std::size_t>(chain)];
+    switch (options.solver) {
+      case Solver::kOnlySa:
+        slot = (resume_state && *resume_state)
+                   ? resume_sa(objective, **resume_state, sa)
+                   : solve_only_sa(objective, link_limit, sa, rng);
+        break;
+      case Solver::kDncOnly:
+        slot = solve_dnc_only(objective, link_limit, dnc);
+        break;
+      case Solver::kDcsa:
+      default:
+        slot = (resume_state && *resume_state)
+                   ? resume_sa(objective, **resume_state, sa)
+                   : solve_dcsa(objective, link_limit, sa, rng, dnc);
+        break;
+    }
+    ran[static_cast<std::size_t>(chain)] = 1;
+  };
+
+  // The pool is scoped to this call: workers are joined before we merge,
+  // so the (thread-local) profiler trees they grew are stable and the
+  // merge below never races a live chain.
+  const int workers = std::min(util::resolve_thread_count(options.threads),
+                               options.chains);
+  bool all_ran;
+  {
+    util::ThreadPool pool(workers);
+    runctl::RunControl pool_control = options.control;
+    all_ran = pool.parallel_for(options.chains, run_chain, &pool_control);
   }
-  for (auto& worker : workers) worker.join();
+  if (!ran[0] && options.chains >= 1) {
+    // A stop that arrived before any chain was dispatched must still
+    // produce a usable (best-effort) result and checkpoint: run chain 0
+    // inline — its own control poll makes it return almost immediately.
+    run_chain(0);
+  }
 
   PortfolioResult portfolio;
   portfolio.seconds = timer.seconds();
   portfolio.chain_values.reserve(results.size());
-  std::size_t best = 0;
+  std::size_t best = results.size();
   for (std::size_t chain = 0; chain < results.size(); ++chain) {
+    if (!ran[chain]) {
+      // Skipped by a cancellation: infinity keeps the slot out of the
+      // best-of selection while chain_values stays index-aligned.
+      portfolio.chain_values.push_back(
+          std::numeric_limits<double>::infinity());
+      continue;
+    }
     portfolio.chain_values.push_back(results[chain].value);
     portfolio.total_evaluations += results[chain].evaluations;
     portfolio.status = worse(portfolio.status, results[chain].status);
-    if (results[chain].value < results[best].value) best = chain;
+    if (best == results.size() ||
+        results[chain].value < results[best].value)
+      best = chain;
   }
+  XLP_CHECK(best < results.size(), "no portfolio chain produced a result");
   portfolio.best = std::move(results[best]);
   portfolio.best.method += "-portfolio";
+  if (!all_ran) {
+    // Chains were skipped: the run as a whole did not complete even if
+    // every chain that did start finished its schedule.
+    runctl::CancelToken* token = options.control.token();
+    portfolio.status = worse(portfolio.status,
+                             token != nullptr && token->cancelled()
+                                 ? token->reason()
+                                 : runctl::RunStatus::kDeadline);
+  }
 
   const bool is_sa_solver = options.solver != Solver::kDncOnly;
   if (is_sa_solver &&
@@ -162,6 +201,7 @@ PortfolioResult solve_portfolio(
   auto& metrics = obs::MetricsRegistry::global();
   metrics.add("core.portfolio.runs");
   metrics.add("core.portfolio.chains", options.chains);
+  metrics.add("core.portfolio.threads", workers);
   metrics.record_time("core.portfolio.seconds", portfolio.seconds);
   return portfolio;
 }

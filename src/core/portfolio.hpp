@@ -12,17 +12,23 @@
 namespace xlp::core {
 
 /// Parallel portfolio annealing: run several independent D&C_SA (or
-/// OnlySA) chains on separate threads with decorrelated seeds and keep the
-/// best placement. Simulated annealing parallelizes embarrassingly this
-/// way, and a portfolio also reduces seed variance — the multi-seed
+/// OnlySA) chains on a util::ThreadPool with decorrelated seeds and keep
+/// the best placement. Simulated annealing parallelizes embarrassingly
+/// this way, and a portfolio also reduces seed variance — the multi-seed
 /// averaging the evaluation section does by hand, executed concurrently.
 ///
 /// Determinism: the result depends only on (seed, chains, parameters),
-/// never on thread scheduling — each chain derives its RNG from the seed
-/// and its chain index, and ties between equal-valued chains break toward
-/// the lower chain index.
+/// never on thread count or scheduling — each chain derives its RNG from
+/// the seed and its chain index, ties between equal-valued chains break
+/// toward the lower chain index, and chain metrics/checkpoints are merged
+/// by chain index after the pool joins (see docs/parallelism.md).
 struct PortfolioOptions {
-  int chains = 4;          // worker threads (and independent chains)
+  int chains = 4;          // independent chains (work items, not threads)
+  /// Pool workers running the chains. 0 = util::default_thread_count()
+  /// (the --threads flag / XLP_THREADS / hardware); always additionally
+  /// capped by `chains`. The thread count never changes the result —
+  /// `threads = 1` is bit-identical to `threads = chains`.
+  int threads = 0;
   SaParams sa;             // per-chain schedule
   DncOptions dnc;
   Solver solver = Solver::kDcsa;
@@ -51,7 +57,10 @@ struct PortfolioOptions {
 
 struct PortfolioResult {
   PlacementResult best;
-  std::vector<double> chain_values;  // final value of every chain
+  /// Final value of every chain, by chain index. +inf marks a chain a
+  /// cancellation skipped before it could start (only possible when the
+  /// run was stopped early).
+  std::vector<double> chain_values;
   long total_evaluations = 0;
   double seconds = 0.0;  // wall clock for the whole portfolio
   /// Worst chain outcome: interrupted > deadline > completed. The best

@@ -10,6 +10,7 @@
 #include "topo/builders.hpp"
 #include "traffic/matrix.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace xlp::exp {
 
@@ -61,60 +62,90 @@ FaultCampaignResult run_fault_campaign(const FaultCampaignConfig& config) {
   const traffic::TrafficMatrix demand = traffic::TrafficMatrix::from_pattern(
       traffic::Pattern::kUniformRandom, config.n, config.load);
 
+  // Every simulation cell — each design's fault-free baseline and each of
+  // its trials — is independent: trials are explicitly seeded from the
+  // config (never from a shared advancing stream), so the flattened cell
+  // grid can run on the pool in any order and the merged result is
+  // byte-identical to the sequential one. Cell c maps to design c/(T+1);
+  // sub-index 0 is the baseline, 1..T are the trials.
+  const long per_design = static_cast<long>(config.trials) + 1;
+  const long cells = static_cast<long>(designs.size()) * per_design;
+  std::vector<sim::SimStats> baselines(designs.size());
+  std::vector<std::vector<FaultTrialResult>> trials(
+      designs.size(),
+      std::vector<FaultTrialResult>(static_cast<std::size_t>(config.trials)));
+
+  int workers = std::min(util::resolve_thread_count(config.threads),
+                         static_cast<int>(cells));
+  // A shared trace sink is thread-safe but would interleave events in
+  // scheduling order; keep the event stream deterministic instead.
+  if (config.trace != nullptr) workers = 1;
+  util::ThreadPool pool(workers);
+  pool.parallel_for(cells, [&](long c) {
+    const std::size_t di = static_cast<std::size_t>(c / per_design);
+    const long sub = c % per_design;
+    const NamedDesign& named = designs[di];
+
+    sim::SimConfig sim_config =
+        default_sim_config(config.seed + static_cast<std::uint64_t>(di));
+    sim_config.trace = config.trace;
+
+    if (sub == 0) {
+      baselines[di] = simulate_design(named.design, demand, sim_config);
+      return;
+    }
+    const long t = sub - 1;
+    // Explicit per-trial seeding keeps the sampled fault independent of
+    // everything the solvers or simulators drew.
+    Rng trial_rng(config.seed * 1000003ULL +
+                  static_cast<std::uint64_t>(di) * 1009ULL +
+                  static_cast<std::uint64_t>(t));
+    const fault::FaultSet faults =
+        fault::sample_k_links(named.design, config.kill_links, trial_rng);
+
+    FaultTrialResult trial;
+    trial.faults = faults.to_string();
+    trial.unreachable_pairs = static_cast<long>(
+        fault::reroute(named.design, faults, weights).unreachable_xy.size());
+
+    sim::SimConfig degraded_config = sim_config;
+    degraded_config.faults.policy = config.policy;
+    degraded_config.faults.max_retries = config.max_retries;
+    degraded_config.faults.events.push_back(
+        {config.fault_cycle, faults, config.recover_cycle});
+    const sim::SimStats stats =
+        simulate_design(named.design, demand, degraded_config);
+
+    trial.drained = stats.drained;
+    trial.reroutes = stats.reroutes;
+    trial.dropped = stats.packets_dropped;
+    trial.retransmitted = stats.packets_retransmitted;
+    trial.lost = stats.packets_lost;
+    trial.unroutable = stats.packets_unroutable;
+    if (stats.packets_finished > 0) trial.avg_latency = stats.avg_latency;
+    trials[di][static_cast<std::size_t>(t)] = std::move(trial);
+  });
+
+  // Merge in design order after the pool joins: aggregates, the JSON dump,
+  // and the undrained-baseline warnings all come out in a fixed order.
   FaultCampaignResult result;
   result.config = config;
   for (std::size_t di = 0; di < designs.size(); ++di) {
-    const NamedDesign& named = designs[di];
+    warn_if_undrained(baselines[di], designs[di].name + " baseline");
     FaultDesignResult out;
-    out.name = named.name;
-
-    sim::SimConfig sim_config = default_sim_config(
-        config.seed + static_cast<std::uint64_t>(di));
-    sim_config.trace = config.trace;
-
-    const sim::SimStats baseline =
-        simulate_design(named.design, demand, sim_config);
-    warn_if_undrained(baseline, named.name + " baseline");
-    out.baseline_latency = baseline.avg_latency;
+    out.name = designs[di].name;
+    out.baseline_latency = baselines[di].avg_latency;
 
     double degraded_sum = 0.0;
     int degraded_count = 0;
-    for (int t = 0; t < config.trials; ++t) {
-      // Explicit per-trial seeding keeps the sampled fault independent of
-      // everything the solvers or simulators drew.
-      Rng trial_rng(config.seed * 1000003ULL +
-                    static_cast<std::uint64_t>(di) * 1009ULL +
-                    static_cast<std::uint64_t>(t));
-      const fault::FaultSet faults =
-          fault::sample_k_links(named.design, config.kill_links, trial_rng);
-
-      FaultTrialResult trial;
-      trial.faults = faults.to_string();
-      trial.unreachable_pairs = static_cast<long>(
-          fault::reroute(named.design, faults, weights).unreachable_xy.size());
-
-      sim::SimConfig degraded_config = sim_config;
-      degraded_config.faults.policy = config.policy;
-      degraded_config.faults.max_retries = config.max_retries;
-      degraded_config.faults.events.push_back(
-          {config.fault_cycle, faults, config.recover_cycle});
-      const sim::SimStats stats =
-          simulate_design(named.design, demand, degraded_config);
-
-      trial.drained = stats.drained;
-      trial.reroutes = stats.reroutes;
-      trial.dropped = stats.packets_dropped;
-      trial.retransmitted = stats.packets_retransmitted;
-      trial.lost = stats.packets_lost;
-      trial.unroutable = stats.packets_unroutable;
-      if (stats.packets_finished > 0) {
-        trial.avg_latency = stats.avg_latency;
-        degraded_sum += stats.avg_latency;
+    for (FaultTrialResult& trial : trials[di]) {
+      if (trial.avg_latency >= 0.0) {
+        degraded_sum += trial.avg_latency;
         ++degraded_count;
-        out.degraded_worst = std::max(out.degraded_worst, stats.avg_latency);
+        out.degraded_worst = std::max(out.degraded_worst, trial.avg_latency);
       }
-      out.lost_total += stats.packets_lost;
-      out.unroutable_total += stats.packets_unroutable;
+      out.lost_total += trial.lost;
+      out.unroutable_total += trial.unroutable;
       out.trials.push_back(std::move(trial));
     }
     if (degraded_count > 0) out.degraded_mean = degraded_sum / degraded_count;

@@ -29,6 +29,13 @@ struct FaultCampaignConfig {
   /// D&C_SA objective.
   double reliability_weight = 0.3;
   std::uint64_t seed = 1;
+  /// Pool workers for the simulation cells (per-design baselines and
+  /// trials are all independent: every trial is explicitly seeded from
+  /// `seed`). 0 = util::default_thread_count(); capped by the cell count.
+  /// The campaign result — including its JSON dump — is byte-identical
+  /// for any thread count. Forced to 1 when `trace` is set so the trace
+  /// event order stays deterministic too.
+  int threads = 0;
   /// Forwarded into every simulation (fault.injected / fault.rerouted
   /// events land here); null for silent runs.
   obs::TraceSink* trace = nullptr;

@@ -38,25 +38,10 @@ Deadline Deadline::after_seconds(double seconds) noexcept {
   return d;
 }
 
-bool Deadline::expired() const noexcept {
-  if (unlimited_) return false;
-  return std::chrono::steady_clock::now() >= at_;
-}
-
 double Deadline::remaining_seconds() const noexcept {
   if (unlimited_) return std::numeric_limits<double>::infinity();
   return std::chrono::duration<double>(at_ - std::chrono::steady_clock::now())
       .count();
-}
-
-bool RunControl::stop_requested() noexcept {
-  if (token_ != nullptr && token_->cancelled()) return true;
-  if (deadline_hit_) return true;
-  if (deadline_.unlimited()) return false;
-  if (--calls_until_clock_ > 0) return false;
-  calls_until_clock_ = kDeadlineStride;
-  deadline_hit_ = deadline_.expired();
-  return deadline_hit_;
 }
 
 RunStatus RunControl::status() const noexcept {

@@ -51,7 +51,13 @@ class Deadline {
   [[nodiscard]] static Deadline after_seconds(double seconds) noexcept;
 
   [[nodiscard]] bool unlimited() const noexcept { return unlimited_; }
-  [[nodiscard]] bool expired() const noexcept;
+  // Inline (with stop_requested below) so header-only users — notably
+  // util::ThreadPool, which sits *below* the runctl library in the link
+  // order — need no xlp_runctl symbols to poll a control.
+  [[nodiscard]] bool expired() const noexcept {
+    if (unlimited_) return false;
+    return std::chrono::steady_clock::now() >= at_;
+  }
   /// Seconds until expiry (negative when past due, +inf when unlimited).
   [[nodiscard]] double remaining_seconds() const noexcept;
 
@@ -78,7 +84,15 @@ class RunControl {
   /// True once the token is cancelled or the deadline has expired. The
   /// deadline result is sticky: after it fires once, every later call
   /// returns true without touching the clock.
-  [[nodiscard]] bool stop_requested() noexcept;
+  [[nodiscard]] bool stop_requested() noexcept {
+    if (token_ != nullptr && token_->cancelled()) return true;
+    if (deadline_hit_) return true;
+    if (deadline_.unlimited()) return false;
+    if (--calls_until_clock_ > 0) return false;
+    calls_until_clock_ = kDeadlineStride;
+    deadline_hit_ = deadline_.expired();
+    return deadline_hit_;
+  }
 
   /// The status a loop should report given how (or whether) it was
   /// stopped. An interrupt outranks a deadline.

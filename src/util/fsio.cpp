@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -29,11 +30,15 @@ bool atomic_write_file(const std::string& path,
   if (!ensure_parent_dir(path)) return false;
   // The temp file must live in the same directory as the target so the
   // final rename stays within one filesystem (rename(2) is only atomic
-  // then). The pid suffix keeps concurrent writers from clobbering each
-  // other's temp files; the last rename wins, which is still a complete
-  // document.
+  // then). The pid + per-process sequence suffix makes the name unique
+  // across concurrent writers in other processes AND other threads of
+  // this one — two threads sharing a pid-only name would write into each
+  // other's temp file and orphan it. The last rename wins, which is still
+  // a complete document.
+  static std::atomic<unsigned long> sequence{0};
   const std::string tmp =
-      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+      std::to_string(sequence.fetch_add(1, std::memory_order_relaxed));
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return false;
 

@@ -15,8 +15,11 @@ bool ensure_parent_dir(const std::string& path) noexcept;
 /// over `path`. A crash (or kill) at any point leaves either the old file
 /// or the new one — never a truncated hybrid that would poison a reader
 /// like bench_diff or a checkpoint load. Missing parent directories are
-/// created. Returns false, without throwing, on any failure (the
-/// temporary file is removed best-effort).
+/// created. Safe to call concurrently from several threads or processes
+/// targeting the same path: temp names are pid+sequence unique, so the
+/// writers never clobber each other and the published file is always one
+/// writer's complete document. Returns false, without throwing, on any
+/// failure (the temporary file is removed best-effort).
 [[nodiscard]] bool atomic_write_file(const std::string& path,
                                      const std::string& content) noexcept;
 

@@ -31,6 +31,14 @@
 //   --metrics <file.json>  dump the global metrics registry after the run
 //   --stats-json <file>    full SimStats serialization (simulate/replay/run)
 //
+// Parallel execution (see docs/parallelism.md):
+//   --threads <N>          pool workers for portfolios (`solve --chains`),
+//                          sweeps and fault campaigns; overrides the
+//                          XLP_THREADS environment variable (default: all
+//                          hardware threads). Determinism contract: results
+//                          and checkpoints are byte-identical for every N —
+//                          --threads 1 just runs them sequentially.
+//
 // Run control (see docs/resilience.md):
 //   --time-limit <seconds>     wall-clock budget; searches and simulations
 //                              stop at the deadline and report best-so-far
@@ -82,6 +90,7 @@
 #include "util/args.hpp"
 #include "util/error.hpp"
 #include "util/fsio.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 using namespace xlp;
@@ -643,6 +652,11 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Args args(argc - 1, argv + 1);
   runctl::install_signal_handlers(g_cancel_token);
+  // Resolved once, before dispatch: every ThreadPool the command builds
+  // (portfolio chains, sweep cells, campaign trials) sizes itself from
+  // this default unless its options name an explicit count.
+  if (const long threads = args.get_long("threads", 0); threads > 0)
+    util::set_default_thread_count(static_cast<int>(threads));
 
   int rc;
   try {
