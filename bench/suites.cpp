@@ -21,6 +21,7 @@
 #include "exp/scenarios.hpp"
 #include "harness.hpp"
 #include "latency/model.hpp"
+#include "obs/timeseries.hpp"
 #include "route/directional_paths.hpp"
 #include "topo/builders.hpp"
 #include "topo/connection_matrix.hpp"
@@ -127,6 +128,36 @@ void register_micro_core() {
                      run.set_counter("value", result.value);
                    });
   }
+  // Cost of the time-series instrumentation on the simulator cycle loop.
+  // The plain variant is the recording-disabled path (one predictable
+  // branch per cycle) that the CI overhead gate holds to <1% against the
+  // baseline; the _series variant attaches a recorder so the two medians
+  // side by side show what enabling telemetry actually buys and costs.
+  // Fixed cycle counts (not XLP_BENCH_SCALE) keep the timed work identical
+  // across environments.
+  const auto sim_run = [](obs::SeriesRecorder* recorder, BenchRun& run) {
+    sim::SimConfig config;
+    config.warmup_cycles = 500;
+    config.measure_cycles = 2000;
+    config.drain_cycles = 8000;
+    config.seed = 11;
+    config.series = recorder;
+    const auto demand = traffic::TrafficMatrix::from_pattern(
+        traffic::Pattern::kUniformRandom, 8, 0.02);
+    const auto stats =
+        exp::simulate_design(topo::make_mesh(8), demand, config);
+    run.set_items(config.warmup_cycles + config.measure_cycles);
+    run.set_counter("packets_finished",
+                    static_cast<double>(stats.packets_finished));
+  };
+  register_bench("micro_core", "sim_run_8x8", "smoke",
+                 [sim_run](BenchRun& run) { sim_run(nullptr, run); });
+  register_bench("micro_core", "sim_run_8x8_series", "smoke",
+                 [sim_run](BenchRun& run) {
+                   obs::SeriesRecorder recorder(512);
+                   sim_run(&recorder, run);
+                   g_sink = static_cast<double>(recorder.names().size());
+                 });
 }
 
 void register_sim() {

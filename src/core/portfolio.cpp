@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "util/check.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -60,6 +61,13 @@ PortfolioResult solve_portfolio(
   std::vector<std::optional<runctl::SaCheckpoint>> latest(
       static_cast<std::size_t>(options.chains));
 
+  // Per-chain private recorders (SeriesRecorder is not thread-safe);
+  // merged into options.series in chain-index order after the pool joins.
+  std::vector<obs::SeriesRecorder> chain_series;
+  if (options.series != nullptr)
+    chain_series.assign(static_cast<std::size_t>(options.chains),
+                        obs::SeriesRecorder(options.series->capacity()));
+
   const auto snapshot_portfolio = [&]() {
     // Caller holds ckpt_mutex (or all workers have joined).
     runctl::PortfolioCheckpoint pc;
@@ -94,6 +102,12 @@ PortfolioResult solve_portfolio(
 
     SaParams sa = options.sa;
     sa.control = &control;
+    if (options.series != nullptr) {
+      sa.series = &chain_series[static_cast<std::size_t>(chain)];
+      sa.series_prefix = "chain" + std::to_string(chain) + ".";
+    } else {
+      sa.series = nullptr;
+    }
     sa.checkpoint_every_moves = options.checkpoint_every_moves;
     sa.checkpoint_sink = [&, chain](const runctl::SaCheckpoint& ck) {
       const std::lock_guard<std::mutex> lock(ckpt_mutex);
@@ -153,6 +167,13 @@ PortfolioResult solve_portfolio(
     // produce a usable (best-effort) result and checkpoint: run chain 0
     // inline — its own control poll makes it return almost immediately.
     run_chain(0);
+  }
+
+  if (options.series != nullptr) {
+    // Chain-index order, after the join: the merged document depends only
+    // on (seed, chains, parameters), never on worker scheduling.
+    for (const obs::SeriesRecorder& rec : chain_series)
+      options.series->adopt(rec);
   }
 
   PortfolioResult portfolio;

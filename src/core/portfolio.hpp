@@ -53,6 +53,13 @@ struct PortfolioOptions {
   /// scratch, which is deterministic because chain RNGs are forked from
   /// the seed. Not owned; may be null.
   const runctl::PortfolioCheckpoint* resume = nullptr;
+
+  /// Optional cooling-trajectory recorder (not owned; must outlive the
+  /// call). Each chain records into a private recorder under a "chainK."
+  /// prefix; after the pool joins they are merged into this one in chain
+  /// index order, so the merged document is identical for any thread
+  /// count. The SaParams::series pointer above is ignored here.
+  obs::SeriesRecorder* series = nullptr;
 };
 
 struct PortfolioResult {

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/timeseries.hpp"
 #include "util/check.hpp"
 
 namespace xlp::core {
@@ -134,6 +135,19 @@ SaResult anneal_connection_matrix(const topo::ConnectionMatrix& initial,
         snapshot.window_moves = (move + 1) - window_start_move;
         snapshot.window_accepted = result.accepted - window_start_accepted;
         params.observer(snapshot);
+      }
+      if (params.series != nullptr) {
+        const double x = static_cast<double>(move + 1);
+        const long window_moves = (move + 1) - window_start_move;
+        const long window_accepted = result.accepted - window_start_accepted;
+        obs::SeriesRecorder& rec = *params.series;
+        rec.append(params.series_prefix + "sa.objective", x, current_value);
+        rec.append(params.series_prefix + "sa.best", x, result.best_value);
+        rec.append(params.series_prefix + "sa.temperature", x, temperature);
+        rec.append(params.series_prefix + "sa.acceptance", x,
+                   window_moves > 0
+                       ? static_cast<double>(window_accepted) / window_moves
+                       : 0.0);
       }
       ++cooling_step;
       window_start_move = move + 1;

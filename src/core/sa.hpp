@@ -11,6 +11,10 @@
 #include "topo/connection_matrix.hpp"
 #include "util/rng.hpp"
 
+namespace xlp::obs {
+class SeriesRecorder;
+}
+
 namespace xlp::core {
 
 /// Snapshot handed to the optional SaParams::observer at the end of every
@@ -46,6 +50,14 @@ struct SaParams {
 
   /// Invoked once per cooling step when set; see SaCoolingStep.
   SaObserver observer;
+
+  /// Optional bounded-memory recorder (not owned; must outlive the run).
+  /// When set, the annealer appends objective / best-so-far / temperature /
+  /// window acceptance-rate samples once per cooling step, under names
+  /// prefixed with series_prefix (portfolio chains pass "chainK." so their
+  /// merged recordings stay disjoint and deterministic).
+  obs::SeriesRecorder* series = nullptr;
+  std::string series_prefix;
 
   /// Cooperative stop: when set, the annealing loop polls it once per move
   /// and stops early (keeping the best solution found so far) on a

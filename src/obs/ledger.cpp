@@ -1,0 +1,75 @@
+#include "obs/ledger.hpp"
+
+#include <sstream>
+
+#include "util/fsio.hpp"
+
+namespace xlp::obs {
+
+namespace {
+
+std::string fnv1a64_hex(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ledger_run_id(const std::string& subcommand, const Json& params,
+                          std::uint64_t seed, const std::string& git_sha) {
+  return fnv1a64_hex(subcommand + "\n" + params.dump() + "\n" +
+                     std::to_string(seed) + "\n" + git_sha);
+}
+
+std::string LedgerEntry::run_id() const {
+  return ledger_run_id(subcommand, params, seed, git_sha);
+}
+
+Json LedgerEntry::to_json() const {
+  Json artifact_list = Json::array();
+  for (const std::string& a : artifacts) artifact_list.push(a);
+  return Json::object()
+      .set("schema", "xlp-ledger/1")
+      .set("run_id", run_id())
+      .set("subcommand", subcommand)
+      .set("params", params)
+      .set("seed", static_cast<long>(seed))
+      .set("git_sha", git_sha)
+      .set("hostname", hostname)
+      .set("wall_seconds", wall_seconds)
+      .set("exit_status", exit_status)
+      .set("artifacts", std::move(artifact_list));
+}
+
+bool append_ledger_entry(const std::string& path, const LedgerEntry& entry) {
+  std::string content;
+  if (const auto existing = util::read_file(path)) content = *existing;
+  content += entry.to_json().dump() + "\n";
+  return util::atomic_write_file(path, content);
+}
+
+std::vector<Json> read_ledger(const std::string& path) {
+  std::vector<Json> records;
+  const auto content = util::read_file(path);
+  if (!content) return records;
+  std::istringstream in(*content);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (auto record = Json::parse(line); record && record->is_object())
+      records.push_back(std::move(*record));
+  }
+  return records;
+}
+
+}  // namespace xlp::obs

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace xlp::obs {
+
+/// One run-ledger record: what ran, under which scenario, what it wrote
+/// and how it ended. Every `xlp` subcommand appends one of these to
+/// `<out-dir>/ledger.jsonl`, giving a run directory an append-only
+/// provenance log that `xlp report` and `tools/run_diff` read back.
+///
+/// The run id is a content hash over (subcommand, canonical params, seed,
+/// git sha) — the scenario identity, deliberately excluding execution
+/// details like thread count, wall time or output paths, so the same
+/// request hashes identically everywhere. This is the stepping stone
+/// toward a content-addressed result cache (ROADMAP item 5): a cache key
+/// is exactly this hash.
+struct LedgerEntry {
+  std::string subcommand;
+  /// Canonical scenario parameters, inserted by each subcommand in a fixed
+  /// order. Must not contain output paths, thread counts or time limits.
+  Json params = Json::object();
+  std::uint64_t seed = 0;
+  std::string git_sha = "unknown";
+  std::string hostname = "unknown";
+  double wall_seconds = 0.0;
+  int exit_status = 0;
+  /// Paths of every artifact the run wrote (traces, stats, checkpoints,
+  /// series, reports), in the order they were registered.
+  std::vector<std::string> artifacts;
+
+  /// Content-hashed scenario identity (16 lowercase hex chars); see
+  /// ledger_run_id().
+  [[nodiscard]] std::string run_id() const;
+
+  /// {"schema":"xlp-ledger/1","run_id",...} with a fixed member order so
+  /// identical runs serialize byte-identically (wall_seconds excepted).
+  [[nodiscard]] Json to_json() const;
+};
+
+/// FNV-1a 64-bit over the canonical byte string
+/// `subcommand \n params.dump() \n seed \n git_sha`, hex-encoded. Stable
+/// across platforms, processes and thread counts: it depends only on the
+/// scenario identity.
+[[nodiscard]] std::string ledger_run_id(const std::string& subcommand,
+                                        const Json& params,
+                                        std::uint64_t seed,
+                                        const std::string& git_sha);
+
+/// Appends one record to the JSONL ledger at `path`, creating it (and any
+/// parent directories) on first write. The whole file is rewritten through
+/// util::atomic_write_file, so a crash mid-append leaves the previous
+/// ledger intact rather than a torn line. Returns false, without throwing,
+/// when the write failed — ledger output is best-effort telemetry.
+[[nodiscard]] bool append_ledger_entry(const std::string& path,
+                                       const LedgerEntry& entry);
+
+/// Parses every well-formed record of a JSONL ledger file, skipping
+/// malformed lines; empty when the file is missing or unreadable.
+[[nodiscard]] std::vector<Json> read_ledger(const std::string& path);
+
+}  // namespace xlp::obs

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace xlp::obs {
+
+/// One plotted line: a name (becomes the legend label) and (x, y) points.
+struct ChartSeries {
+  std::string name;
+  std::vector<std::pair<double, double>> points;
+};
+
+/// Everything `xlp report` understands inside a run directory. Files are
+/// classified by content, not filename, so the CLI's free-form --trace /
+/// --stats-json / --series paths all work as long as they land in the
+/// directory being reported.
+struct RunDirData {
+  std::string dir;
+  std::optional<Json> series;   // xlp-series/1 document (SeriesRecorder)
+  std::optional<Json> stats;    // SimStats serialization
+  std::optional<Json> metrics;  // MetricsRegistry serialization
+  std::optional<Json> profile;  // ProfileReport::to_json() array
+  std::vector<Json> ledger;     // ledger.jsonl records, file order
+  /// Last `sim.channel_utilization` event found in any JSONL trace.
+  std::optional<Json> heatmap;
+  /// Series derived from JSONL trace events (`sim.progress`, `sa.cool`),
+  /// keyed by a descriptive name, in key order.
+  std::map<std::string, std::vector<std::pair<double, double>>> trace_series;
+};
+
+/// Scans `dir` (non-recursive, entries in name order): parses every *.json
+/// and *.jsonl file and buckets what it recognizes. Unreadable or
+/// unrecognized files are skipped — reporting is best-effort.
+[[nodiscard]] RunDirData collect_run_dir(const std::string& dir);
+
+/// Chart inputs from an xlp-series/1 document, one ChartSeries per
+/// recorded series in name order.
+[[nodiscard]] std::vector<ChartSeries> chart_series_from_json(
+    const Json& series_doc);
+
+/// Dependency-free inline SVG line chart: axes with min/max tick labels, a
+/// fixed color palette, and a legend. Safe to embed directly in HTML.
+[[nodiscard]] std::string svg_line_chart(const std::string& title,
+                                         const std::vector<ChartSeries>& series,
+                                         int width = 660, int height = 240);
+
+/// Channel-utilization heatmap from a `sim.channel_utilization` event:
+/// routers on their mesh grid, each directed channel a line colored by
+/// utilization (blue 0 -> red 1). Uses the event's width/height when
+/// present, else assumes a square mesh.
+[[nodiscard]] std::string svg_channel_heatmap(const Json& heatmap_event);
+
+/// Wraps body markup in the self-contained report page (inline CSS, no
+/// scripts, no external references).
+[[nodiscard]] std::string html_page(const std::string& title,
+                                    const std::string& body);
+
+/// Renders the full single-file HTML dashboard for one run directory: line
+/// charts for every recorded and trace-derived series, the channel heatmap,
+/// the stats summary, the profiler tree table and the run ledger.
+[[nodiscard]] std::string render_report_html(const RunDirData& data);
+
+/// Escapes &<>" for embedding untrusted strings in HTML/SVG text.
+[[nodiscard]] std::string html_escape(const std::string& raw);
+
+}  // namespace xlp::obs

@@ -1,0 +1,106 @@
+#include "obs/timeseries.hpp"
+
+#include "util/fsio.hpp"
+
+namespace xlp::obs {
+
+SeriesRecorder::SeriesRecorder(std::size_t capacity)
+    : capacity_(capacity < 4 ? 4 : capacity & ~std::size_t{1}) {}
+
+void SeriesRecorder::append(const std::string& series, double x, double y) {
+  Series& s = series_[series];
+  if (s.pending_count == 0) s.pending_x = x;
+  s.pending_sum += y;
+  ++s.pending_count;
+  ++s.total_samples;
+  if (s.pending_count >= s.stride) flush_pending(s);
+}
+
+void SeriesRecorder::flush_pending(Series& s) {
+  if (s.pending_count == 0) return;
+  if (s.points.size() >= capacity_) compact(s);
+  s.points.push_back({s.pending_x, s.pending_sum / s.pending_count,
+                      s.pending_count});
+  s.pending_sum = 0.0;
+  s.pending_count = 0;
+}
+
+void SeriesRecorder::compact(Series& s) {
+  // Merge adjacent pairs: count-weighted mean keeps the series mean exact,
+  // the earlier x keeps windows left-aligned. Doubling the stride halves
+  // the sampling resolution for everything recorded from here on.
+  std::vector<Point> merged;
+  merged.reserve(s.points.size() / 2 + 1);
+  for (std::size_t i = 0; i + 1 < s.points.size(); i += 2) {
+    const Point& a = s.points[i];
+    const Point& b = s.points[i + 1];
+    const long count = a.count + b.count;
+    merged.push_back({a.x, (a.y * a.count + b.y * b.count) / count, count});
+  }
+  if (s.points.size() % 2 != 0) merged.push_back(s.points.back());
+  s.points = std::move(merged);
+  s.stride *= 2;
+}
+
+std::vector<std::string> SeriesRecorder::names() const {
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, s] : series_) out.push_back(name);
+  return out;
+}
+
+const SeriesRecorder::Series* SeriesRecorder::find(
+    const std::string& name) const {
+  const auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::vector<SeriesRecorder::Point> SeriesRecorder::sampled(
+    const std::string& name) const {
+  const Series* s = find(name);
+  if (s == nullptr) return {};
+  std::vector<Point> out = s->points;
+  if (s->pending_count > 0) {
+    const Point pending{s->pending_x, s->pending_sum / s->pending_count,
+                        s->pending_count};
+    if (out.size() >= capacity_) {
+      // A full buffer plus the partial bucket would exceed capacity; fold
+      // the bucket into the last point (weighted mean) so the <= capacity
+      // bound holds while no sample is dropped.
+      Point& last = out.back();
+      const long count = last.count + pending.count;
+      last.y = (last.y * last.count + pending.y * pending.count) / count;
+      last.count = count;
+    } else {
+      out.push_back(pending);
+    }
+  }
+  return out;
+}
+
+void SeriesRecorder::adopt(const SeriesRecorder& other) {
+  for (const auto& [name, s] : other.series_) series_[name] = s;
+}
+
+Json SeriesRecorder::to_json() const {
+  Json all = Json::object();
+  for (const auto& [name, series] : series_) {
+    Json points = Json::array();
+    for (const Point& p : sampled(name))
+      points.push(Json::array().push(p.x).push(p.y).push(p.count));
+    all.set(name, Json::object()
+                      .set("stride", series.stride)
+                      .set("total_samples", series.total_samples)
+                      .set("points", std::move(points)));
+  }
+  return Json::object()
+      .set("schema", "xlp-series/1")
+      .set("capacity", static_cast<long>(capacity_))
+      .set("series", std::move(all));
+}
+
+bool SeriesRecorder::write_json_file(const std::string& path) const {
+  return util::atomic_write_file(path, to_json().dump() + "\n");
+}
+
+}  // namespace xlp::obs

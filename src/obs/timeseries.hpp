@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace xlp::obs {
+
+/// Bounded-memory recorder for named time series. Each series holds at
+/// most `capacity` stored points regardless of how many samples are
+/// appended: when a series fills up, adjacent point pairs are merged
+/// (count-weighted mean of y, x of the earlier point) and the sampling
+/// stride doubles, so every subsequent stored point summarizes twice as
+/// many raw samples. The result is a uniform-resolution downsample whose
+/// memory is O(capacity) for arbitrarily long runs — 10^7 appends still
+/// hold <= capacity points — while per-series means stay exact.
+///
+/// Recording is wired behind a single pointer check at every
+/// instrumentation site (simulator cycle loop, SA cooling steps), so the
+/// disabled path costs one branch. append() itself is O(1) amortized.
+///
+/// Not thread-safe: concurrent recorders (portfolio chains) each own a
+/// private instance and the owner merges them with adopt() after joining,
+/// which keeps the merged document deterministic for any thread count.
+class SeriesRecorder {
+ public:
+  /// One stored point: the first x of the merged window, the mean y over
+  /// it, and how many raw samples it summarizes.
+  struct Point {
+    double x = 0.0;
+    double y = 0.0;
+    long count = 0;
+  };
+
+  /// Per-series state; exposed so adopt() and the report renderer can
+  /// walk it without copying.
+  struct Series {
+    std::vector<Point> points;
+    long stride = 1;          // raw samples per stored point
+    long total_samples = 0;   // raw samples ever appended
+    // Partial bucket still accumulating toward `stride` samples.
+    double pending_x = 0.0;
+    double pending_sum = 0.0;
+    long pending_count = 0;
+  };
+
+  /// Capacity is clamped to >= 4 and rounded down to an even number so
+  /// pair-merging always lands exactly on capacity/2 points.
+  explicit SeriesRecorder(std::size_t capacity = 512);
+
+  /// Appends one raw sample to the named series (created on first touch).
+  void append(const std::string& series, double x, double y);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Names of every recorded series, in lexicographic order.
+  [[nodiscard]] std::vector<std::string> names() const;
+  /// Series by name; nullptr when never recorded.
+  [[nodiscard]] const Series* find(const std::string& name) const;
+  [[nodiscard]] bool empty() const noexcept { return series_.empty(); }
+
+  /// Stored points of one series including the partial pending bucket
+  /// (flushed as a final point so short runs lose nothing).
+  [[nodiscard]] std::vector<Point> sampled(const std::string& name) const;
+
+  /// Copies every series of `other` into this recorder. Series names must
+  /// be disjoint (portfolio chains prefix theirs with "chainK."); a
+  /// duplicate name is replaced, deterministically favoring `other`.
+  void adopt(const SeriesRecorder& other);
+
+  /// {"schema":"xlp-series/1","capacity":N,"series":{name:{"stride":s,
+  ///  "total_samples":t,"points":[[x,y,count],...]},...}} with series in
+  /// name order, so equal recordings dump byte-identically.
+  [[nodiscard]] Json to_json() const;
+
+  /// Atomically writes to_json() to `path`; false (no throw) on failure.
+  [[nodiscard]] bool write_json_file(const std::string& path) const;
+
+ private:
+  void flush_pending(Series& s);
+  static void compact(Series& s);
+
+  std::size_t capacity_;
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace xlp::obs

@@ -6,6 +6,7 @@
 #include "latency/packet_mix.hpp"
 
 namespace xlp::obs {
+class SeriesRecorder;
 class TraceSink;
 }
 
@@ -114,6 +115,15 @@ struct SimConfig {
   /// counts. Null by default so instrumentation costs nothing.
   obs::TraceSink* trace = nullptr;
   long trace_interval_cycles = 1000;
+
+  /// Optional bounded-memory time-series recorder (not owned; must outlive
+  /// the run). When set, the simulator appends one sample per series every
+  /// series_interval_cycles: injected/ejected flits in the window, flits in
+  /// the network, active routers, mean per-VC buffer occupancy and the
+  /// stalled-cycle fraction. Null by default; the disabled path costs a
+  /// single branch per cycle (verified by bench/micro_core sim_run_8x8).
+  obs::SeriesRecorder* series = nullptr;
+  long series_interval_cycles = 256;
 
   /// Cooperative stop polled once per simulated cycle. When a deadline or
   /// interrupt fires, the run ends at that cycle boundary, statistics are

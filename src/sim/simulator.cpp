@@ -7,6 +7,7 @@
 
 #include "fault/reroute.hpp"
 #include "obs/profiler.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "route/deadlock.hpp"
 #include "runctl/control.hpp"
@@ -279,6 +280,7 @@ void Simulator::inject(int node) {
   // local input buffer next cycle (the arrival handler stamps ready_cycle).
   ni_arrivals_.push_back({cycle_ + 1, node, sent});
   ++in_network_flits_;
+  ++injected_flits_total_;
 
   if (sent.is_head) packets_[sent.packet].injected = cycle_ + 1;
   if (sent.is_tail) {
@@ -461,6 +463,7 @@ void Simulator::arbitrate(int router) {
       q.buffer.pop_front();
       used[static_cast<std::size_t>(p)] = 1;
       rr = idx;
+      ++grants_total_;
 
       const bool window = in_measurement_window();
       if (window) {
@@ -481,6 +484,7 @@ void Simulator::arbitrate(int router) {
 
       if (out == 0) {
         --in_network_flits_;
+        ++ejected_flits_total_;
         Packet& pk = packets_[f.packet];
         if (f.is_head) pk.head_ejected = cycle_ + 1;
         if (f.is_tail) {
@@ -526,6 +530,8 @@ SimStats Simulator::run() {
   const int nodes = net_.node_count();
   const bool tracing = config_.trace != nullptr && config_.trace->enabled() &&
                        config_.trace_interval_cycles > 0;
+  const bool recording =
+      config_.series != nullptr && config_.series_interval_cycles > 0;
 
   std::sort(scheduled_.begin(), scheduled_.end());
   const obs::ProfileScope run_scope("sim.run");
@@ -540,6 +546,13 @@ SimStats Simulator::run() {
     }
     if (tracing && cycle_ > 0 && cycle_ % config_.trace_interval_cycles == 0)
       emit_progress();
+    // Single branch on the disabled path (bench/micro_core sim_run_8x8
+    // gates this at <1% overhead); everything else happens inside.
+    if (recording) {
+      window_flit_cycles_ += in_network_flits_;
+      if (cycle_ > 0 && cycle_ % config_.series_interval_cycles == 0)
+        record_series();
+    }
     if (faults_enabled_) {
       process_fault_edges();
       if (draining_for_swap_ && in_network_flits_ == 0 &&
@@ -925,6 +938,8 @@ void Simulator::emit_progress() {
       static_cast<double>(ejected_total_ - last_snapshot_ejected_) /
       static_cast<double>(interval);
   last_snapshot_ejected_ = ejected_total_;
+  last_progress_cycle_ = cycle_;
+  last_progress_in_flight_ = in_flight;
   config_.trace->emit("sim.progress",
                       obs::Json::object()
                           .set("cycle", cycle_)
@@ -934,6 +949,58 @@ void Simulator::emit_progress() {
                           .set("packets_in_flight", in_flight)
                           .set("outstanding_measured", outstanding_measured_)
                           .set("ejection_rate", ejection_rate));
+}
+
+void Simulator::record_series() {
+  obs::SeriesRecorder& rec = *config_.series;
+  const double x = static_cast<double>(cycle_);
+  rec.append("sim.injected_flits", x,
+             static_cast<double>(injected_flits_total_ - window_injected_));
+  rec.append("sim.ejected_flits", x,
+             static_cast<double>(ejected_flits_total_ - window_ejected_));
+  rec.append("sim.in_network_flits", x,
+             static_cast<double>(in_network_flits_));
+
+  // Occupancy scan is O(routers x ports x vcs) but runs only once per
+  // series window, never per cycle.
+  long active_routers = 0;
+  long occupied_vcs = 0;
+  long total_vcs = 0;
+  for (const RouterState& rs : routers_) {
+    bool active = false;
+    for (const auto& port : rs.in) {
+      for (const InVc& vc : port) {
+        ++total_vcs;
+        if (!vc.buffer.empty()) {
+          active = true;
+          ++occupied_vcs;
+        }
+      }
+    }
+    if (active) ++active_routers;
+  }
+  rec.append("sim.active_routers", x, static_cast<double>(active_routers));
+  rec.append("sim.vc_occupancy", x,
+             total_vcs > 0 ? static_cast<double>(occupied_vcs) /
+                                 static_cast<double>(total_vcs)
+                           : 0.0);
+
+  // Fraction of flit-cycles in the window that did not advance: a flit
+  // sitting in the network for a cycle either won a switch grant or
+  // stalled (pipeline latency counts as stall here, so zero-load runs
+  // report the pipeline floor, not 0).
+  const long grants = grants_total_ - window_grants_;
+  const double stalled =
+      window_flit_cycles_ > 0
+          ? 1.0 - static_cast<double>(grants) /
+                      static_cast<double>(window_flit_cycles_)
+          : 0.0;
+  rec.append("sim.stall_fraction", x, std::clamp(stalled, 0.0, 1.0));
+
+  window_injected_ = injected_flits_total_;
+  window_ejected_ = ejected_flits_total_;
+  window_grants_ = grants_total_;
+  window_flit_cycles_ = 0;
 }
 
 void Simulator::emit_channel_heatmap(const SimStats& stats) const {
@@ -956,6 +1023,8 @@ void Simulator::emit_channel_heatmap(const SimStats& stats) const {
                           .set("measured_cycles",
                                stats.activity.measured_cycles)
                           .set("flit_bits", net_.flit_bits())
+                          .set("width", net_.width())
+                          .set("height", net_.height())
                           .set("channels", std::move(channels)));
 }
 
@@ -964,6 +1033,8 @@ SimStats Simulator::finalize() const {
   stats.activity = activity_;
   stats.channel_flits = channel_flits_measured_;
   stats.last_ejection_cycle = last_ejection_cycle_;
+  stats.last_progress_cycle = last_progress_cycle_;
+  stats.last_progress_in_flight = last_progress_in_flight_;
   stats.reroutes = reroutes_;
   stats.packets_dropped = packets_dropped_;
   stats.packets_retransmitted = packets_retransmitted_;

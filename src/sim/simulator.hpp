@@ -128,6 +128,9 @@ class Simulator {
   [[nodiscard]] const char* phase_name(long cycle) const noexcept;
   /// Emits one `sim.progress` trace snapshot for the current cycle.
   void emit_progress();
+  /// Appends one sample per telemetry series to config_.series for the
+  /// window ending at the current cycle.
+  void record_series();
   /// Emits the `sim.channel_utilization` heatmap for a finished run.
   void emit_channel_heatmap(const SimStats& stats) const;
 
@@ -180,6 +183,21 @@ class Simulator {
   // Lifetime ejection counters, for the progress telemetry.
   long ejected_total_ = 0;
   long last_snapshot_ejected_ = 0;
+  long last_progress_cycle_ = -1;
+  long last_progress_in_flight_ = -1;
+
+  // Lifetime flit counters for the series recorder. Maintained
+  // unconditionally: an increment on an already-hot line is cheaper than a
+  // branch, and it keeps the recording-disabled path down to the single
+  // `if (recording)` in run().
+  long injected_flits_total_ = 0;
+  long ejected_flits_total_ = 0;
+  long grants_total_ = 0;
+  // Series-window baselines, reset by record_series().
+  long window_injected_ = 0;
+  long window_ejected_ = 0;
+  long window_grants_ = 0;
+  long window_flit_cycles_ = 0;  // sum of in-network flits per cycle
   // Trace-driven injections: (create cycle, src, dst, bits), kept sorted.
   std::vector<std::tuple<long, int, int, int>> scheduled_;
   std::size_t next_scheduled_ = 0;

@@ -1,0 +1,122 @@
+// Tests of the run ledger: the content-hashed run id depends on exactly
+// (subcommand, canonical params, seed, git sha) and nothing else, records
+// serialize with a fixed schema, and the JSONL append/read round trip is
+// crash-safe against malformed lines.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <string>
+
+#include "obs/ledger.hpp"
+
+namespace xlp::obs {
+namespace {
+
+Json sample_params() {
+  return Json::object().set("n", 8).set("c", 4).set("moves", 1000L);
+}
+
+TEST(LedgerRunId, IsSixteenLowercaseHexChars) {
+  const std::string id = ledger_run_id("solve", sample_params(), 7, "abc");
+  ASSERT_EQ(id.size(), 16u);
+  for (const char c : id)
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(c)) ||
+                (c >= 'a' && c <= 'f'))
+        << id;
+}
+
+TEST(LedgerRunId, DependsOnEveryIdentityComponent) {
+  const std::string base = ledger_run_id("solve", sample_params(), 7, "abc");
+  EXPECT_EQ(base, ledger_run_id("solve", sample_params(), 7, "abc"));
+  EXPECT_NE(base, ledger_run_id("sweep", sample_params(), 7, "abc"));
+  EXPECT_NE(base, ledger_run_id("solve", sample_params().set("n", 16), 7,
+                                "abc"));
+  EXPECT_NE(base, ledger_run_id("solve", sample_params(), 8, "abc"));
+  EXPECT_NE(base, ledger_run_id("solve", sample_params(), 7, "def"));
+}
+
+TEST(LedgerRunId, IgnoresExecutionDetails) {
+  // Wall time, exit status and artifacts are execution details, not
+  // scenario identity: two entries differing only there share a run id.
+  LedgerEntry fast, slow;
+  fast.subcommand = slow.subcommand = "simulate";
+  fast.params = slow.params = sample_params();
+  fast.seed = slow.seed = 3;
+  fast.git_sha = slow.git_sha = "abc";
+  slow.wall_seconds = 99.0;
+  slow.exit_status = 1;
+  slow.artifacts = {"out/trace.jsonl"};
+  EXPECT_EQ(fast.run_id(), slow.run_id());
+}
+
+TEST(LedgerEntry, SerializesWithFixedSchemaAndOrder) {
+  LedgerEntry entry;
+  entry.subcommand = "solve";
+  entry.params = sample_params();
+  entry.seed = 7;
+  entry.git_sha = "abc";
+  entry.hostname = "host";
+  entry.wall_seconds = 1.5;
+  entry.exit_status = 0;
+  entry.artifacts = {"a.json", "b.jsonl"};
+
+  const std::string dump = entry.to_json().dump();
+  EXPECT_EQ(dump.rfind("{\"schema\":\"xlp-ledger/1\",\"run_id\":\"", 0), 0u)
+      << dump;
+  // Fixed member order: identical runs serialize byte-identically.
+  const char* keys[] = {"run_id",  "subcommand",   "params",
+                        "seed",    "git_sha",      "hostname",
+                        "wall_seconds", "exit_status", "artifacts"};
+  std::size_t last = 0;
+  for (const char* key : keys) {
+    const std::size_t pos = dump.find("\"" + std::string(key) + "\":");
+    ASSERT_NE(pos, std::string::npos) << key;
+    EXPECT_GT(pos, last) << key;
+    last = pos;
+  }
+}
+
+TEST(Ledger, AppendReadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/xlp_ledger_rt.jsonl";
+  std::remove(path.c_str());
+
+  LedgerEntry first;
+  first.subcommand = "solve";
+  first.params = sample_params();
+  first.seed = 1;
+  ASSERT_TRUE(append_ledger_entry(path, first));
+  LedgerEntry second = first;
+  second.seed = 2;
+  second.artifacts = {"stats.json"};
+  ASSERT_TRUE(append_ledger_entry(path, second));
+
+  const auto records = read_ledger(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].find("seed")->as_long(), 1);
+  EXPECT_EQ(records[1].find("seed")->as_long(), 2);
+  EXPECT_EQ(records[0].find("run_id")->as_string(), first.run_id());
+  EXPECT_EQ(records[1].find("artifacts")->at(0).as_string(), "stats.json");
+}
+
+TEST(Ledger, ReadSkipsMalformedLines) {
+  const std::string path = ::testing::TempDir() + "/xlp_ledger_bad.jsonl";
+  std::remove(path.c_str());
+  LedgerEntry entry;
+  entry.subcommand = "bench";
+  ASSERT_TRUE(append_ledger_entry(path, entry));
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "this is not json\n{\"truncated\":\n";
+  }
+  ASSERT_TRUE(append_ledger_entry(path, entry));
+  EXPECT_EQ(read_ledger(path).size(), 2u);
+}
+
+TEST(Ledger, ReadMissingFileIsEmpty) {
+  EXPECT_TRUE(read_ledger("/nonexistent/dir/ledger.jsonl").empty());
+}
+
+}  // namespace
+}  // namespace xlp::obs

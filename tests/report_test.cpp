@@ -1,0 +1,139 @@
+// Tests of the report renderer: HTML escaping, the SVG chart and heatmap
+// builders, content-based run-directory classification, and the contract
+// that the rendered dashboard is self-contained and names every recorded
+// series.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "obs/ledger.hpp"
+#include "obs/report.hpp"
+#include "obs/timeseries.hpp"
+
+namespace xlp::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(HtmlEscape, EscapesMarkupCharacters) {
+  EXPECT_EQ(html_escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+  EXPECT_EQ(html_escape("plain"), "plain");
+}
+
+TEST(SvgLineChart, ContainsTitleLegendAndLine) {
+  const ChartSeries s{"sim.load", {{0, 1}, {10, 2}, {20, 1.5}}};
+  const std::string svg = svg_line_chart("Load", {s});
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("Load"), std::string::npos);
+  EXPECT_NE(svg.find("sim.load"), std::string::npos);
+  EXPECT_NE(svg.find("polyline"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgLineChart, EmptySeriesRenderPlaceholder) {
+  const std::string svg = svg_line_chart("Empty", {});
+  EXPECT_NE(svg.find("no data"), std::string::npos);
+}
+
+TEST(SvgHeatmap, RendersEveryChannelWithBoundedUtilization) {
+  Json channels = Json::array();
+  channels.push(Json::object()
+                    .set("src", 0)
+                    .set("dst", 1)
+                    .set("length", 1)
+                    .set("flits", 10L)
+                    .set("utilization", 0.25));
+  channels.push(Json::object()
+                    .set("src", 1)
+                    .set("dst", 0)
+                    .set("length", 1)
+                    .set("flits", 40L)
+                    .set("utilization", 1.0));
+  const Json event = Json::object()
+                         .set("measured_cycles", 40L)
+                         .set("width", 2)
+                         .set("height", 1)
+                         .set("channels", std::move(channels));
+  const std::string svg = svg_channel_heatmap(event);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  // One <line> per directed channel plus the legend swatches.
+  std::size_t lines = 0;
+  for (std::size_t pos = svg.find("<line"); pos != std::string::npos;
+       pos = svg.find("<line", pos + 1))
+    ++lines;
+  EXPECT_GE(lines, 2u);
+}
+
+TEST(Report, NamesEverySeriesAndIsSelfContained) {
+  SeriesRecorder rec(32);
+  for (int i = 0; i < 100; ++i) {
+    rec.append("sim.injected_flits", i, i * 0.5);
+    rec.append("sa.best", i, 100.0 - i);
+  }
+  RunDirData data;
+  data.dir = "rundir";
+  data.series = rec.to_json();
+  data.stats = Json::object()
+                   .set("packets_offered", 100L)
+                   .set("latency", Json::object().set("avg", 12.5));
+  LedgerEntry entry;
+  entry.subcommand = "run";
+  entry.seed = 3;
+  data.ledger.push_back(entry.to_json());
+
+  const std::string html = render_report_html(data);
+  EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+  for (const char* expected :
+       {"sim.injected_flits", "sa.best", "Time series", "Run ledger",
+        "packets_offered", "</html>"})
+    EXPECT_NE(html.find(expected), std::string::npos) << expected;
+  // Self-contained: no scripts, no external fetches.
+  EXPECT_EQ(html.find("<script"), std::string::npos);
+  EXPECT_EQ(html.find("http://"), std::string::npos);
+  EXPECT_EQ(html.find("https://"), std::string::npos);
+}
+
+TEST(CollectRunDir, ClassifiesFilesByContent) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "xlp_collect_dir";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  SeriesRecorder rec(16);
+  rec.append("sim.load", 0, 1.0);
+  // Deliberately unhelpful filenames: classification is by content.
+  ASSERT_TRUE(rec.write_json_file((dir / "a.json").string()));
+  {
+    std::ofstream out(dir / "b.json");
+    out << "{\"packets_offered\":5,\"latency\":{\"avg\":2.0}}\n";
+  }
+  LedgerEntry entry;
+  entry.subcommand = "simulate";
+  ASSERT_TRUE(
+      append_ledger_entry((dir / "ledger.jsonl").string(), entry));
+  {
+    std::ofstream out(dir / "trace.jsonl");
+    out << "{\"ts\":0,\"event\":\"sim.progress\",\"cycle\":100,"
+           "\"packets_in_flight\":7,\"ejection_rate\":0.3}\n"
+        << "not json at all\n";
+  }
+
+  const RunDirData data = collect_run_dir(dir.string());
+  ASSERT_TRUE(data.series.has_value());
+  ASSERT_TRUE(data.stats.has_value());
+  EXPECT_EQ(data.ledger.size(), 1u);
+  EXPECT_FALSE(data.trace_series.empty());
+  EXPECT_DOUBLE_EQ(data.stats->find("latency")->find("avg")->as_number(),
+                   2.0);
+}
+
+TEST(CollectRunDir, MissingDirectoryIsEmptyNotFatal) {
+  const RunDirData data = collect_run_dir("/nonexistent/xlp_run_dir");
+  EXPECT_FALSE(data.series.has_value());
+  EXPECT_TRUE(data.ledger.empty());
+}
+
+}  // namespace
+}  // namespace xlp::obs

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <tuple>
 
 #include "latency/model.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "sim/throughput.hpp"
@@ -314,6 +317,63 @@ TEST(Saturation, CurveIsMonotoneUntilSaturation) {
   for (std::size_t i = 1; i < result.curve.size(); ++i)
     if (!result.curve[i].saturated)
       EXPECT_GT(result.curve[i].accepted, result.curve[i - 1].accepted * 0.9);
+}
+
+// --------------------------------------------------------------------------
+// Telemetry events
+
+/// Keeps the last `sim.channel_utilization` event in memory.
+class HeatmapCaptureSink final : public obs::TraceSink {
+ public:
+  void emit(const std::string& event, obs::Json fields) override {
+    if (event == "sim.channel_utilization") heatmap = std::move(fields);
+  }
+  std::optional<obs::Json> heatmap;
+};
+
+TEST(Telemetry, ChannelUtilizationHeatmapMatchesStats) {
+  const Network net(topo::make_mesh(4), route::HopWeights{});
+  const auto demand = traffic::TrafficMatrix::from_pattern(
+      traffic::Pattern::kUniformRandom, 4, 0.05);
+  SimConfig config = quiet_config();
+  HeatmapCaptureSink sink;
+  config.trace = &sink;
+  Simulator sim(net, demand, config);
+  const SimStats stats = sim.run();
+
+  ASSERT_TRUE(sink.heatmap.has_value());
+  const obs::Json& event = *sink.heatmap;
+  EXPECT_EQ(event.find("width")->as_long(), 4);
+  EXPECT_EQ(event.find("height")->as_long(), 4);
+  EXPECT_EQ(event.find("measured_cycles")->as_long(),
+            stats.activity.measured_cycles);
+
+  // Exactly one entry per directed channel, in channel order, each with a
+  // utilization in [0,1] that is the stats flit counter over the measured
+  // window — the report heatmap renders straight from this contract.
+  const obs::Json* channels = event.find("channels");
+  ASSERT_NE(channels, nullptr);
+  ASSERT_TRUE(channels->is_array());
+  ASSERT_EQ(channels->size(), net.channels().size());
+  ASSERT_EQ(stats.channel_flits.size(), net.channels().size());
+  const double cycles =
+      static_cast<double>(stats.activity.measured_cycles);
+  ASSERT_GT(cycles, 0.0);
+  bool any_used = false;
+  for (std::size_t c = 0; c < channels->size(); ++c) {
+    const obs::Json& entry = channels->at(c);
+    EXPECT_EQ(entry.find("src")->as_long(), net.channels()[c].src_router);
+    EXPECT_EQ(entry.find("dst")->as_long(), net.channels()[c].dst_router);
+    EXPECT_EQ(entry.find("flits")->as_long(), stats.channel_flits[c]);
+    const double utilization = entry.find("utilization")->as_number();
+    EXPECT_GE(utilization, 0.0);
+    EXPECT_LE(utilization, 1.0);
+    EXPECT_DOUBLE_EQ(
+        utilization,
+        static_cast<double>(stats.channel_flits[c]) / cycles);
+    any_used = any_used || utilization > 0.0;
+  }
+  EXPECT_TRUE(any_used);
 }
 
 }  // namespace

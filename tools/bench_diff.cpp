@@ -107,10 +107,12 @@ bool parse_suite(const std::string& path, SuiteMetrics& out) {
   return true;
 }
 
-/// Compares one pair of suite maps; prints the delta table rows and
-/// returns the number of tracked metrics regressed beyond the threshold.
+/// Compares one pair of suite maps; prints the delta table rows, appends
+/// "bench/metric" to `regressed` for every gate failure, and returns the
+/// number of tracked metrics regressed beyond the threshold.
 int diff_suites(const std::string& label, const SuiteMetrics& before,
-                const SuiteMetrics& after, double threshold) {
+                const SuiteMetrics& after, double threshold,
+                std::vector<std::string>& regressed) {
   int regressions = 0;
   for (const auto& [bench, old_metrics] : before) {
     const auto it = after.find(bench);
@@ -132,6 +134,7 @@ int diff_suites(const std::string& label, const SuiteMetrics& before,
         if (regression > threshold) {
           verdict = "REGRESSED";
           ++regressions;
+          regressed.push_back(bench + "/" + metric);
         } else if (regression < -threshold) {
           verdict = "improved";
         } else {
@@ -217,17 +220,30 @@ int main(int argc, char** argv) {
   std::printf("%-46s %-22s %14s %14s %9s verdict\n", "benchmark", "metric",
               "old", "new", "delta");
   int regressions = 0;
+  // Regressions keyed by the baseline file they came from, so the summary
+  // of a directory-mode run names the offending BENCH_*.json outright
+  // instead of making the reader scan the delta table.
+  std::vector<std::pair<std::string, std::vector<std::string>>> by_file;
   for (const auto& [old_path, new_path] : pairs) {
     SuiteMetrics before, after;
     if (!parse_suite(old_path, before) || !parse_suite(new_path, after))
       return 2;
     const std::string label =
         fs::path(old_path).filename().stem().string();
-    regressions += diff_suites(label, before, after, threshold);
+    std::vector<std::string> regressed;
+    regressions += diff_suites(label, before, after, threshold, regressed);
+    if (!regressed.empty())
+      by_file.emplace_back(fs::path(old_path).filename().string(),
+                           std::move(regressed));
   }
   if (regressions > 0) {
     std::printf("\n%d tracked metric(s) regressed beyond %.0f%%\n",
                 regressions, threshold * 100.0);
+    for (const auto& [file, entries] : by_file) {
+      std::printf("  %s: %zu regression(s)\n", file.c_str(), entries.size());
+      for (const std::string& entry : entries)
+        std::printf("    %s\n", entry.c_str());
+    }
     return 1;
   }
   std::printf("\nno tracked metric regressed beyond %.0f%%\n",

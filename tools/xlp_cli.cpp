@@ -22,6 +22,9 @@
 //                 [--profile out.folded] [--deterministic] [--list]
 //                 (runs the registered benchmark suites, writes one
 //                 schema-versioned BENCH_<suite>.json per suite)
+//   xlp report    <run-dir> [--out report.html]
+//                 (renders a dependency-free single-file HTML dashboard
+//                 from the telemetry files found in <run-dir>)
 //
 // Telemetry (see docs/observability.md):
 //   --trace <file.jsonl>   structured JSONL trace (SA cooling steps on
@@ -30,6 +33,18 @@
 //                          whose --trace names the input packet trace
 //   --metrics <file.json>  dump the global metrics registry after the run
 //   --stats-json <file>    full SimStats serialization (simulate/replay/run)
+//   --series <file.json>   bounded-memory time-series recording (simulator
+//                          cycle telemetry on simulate/run, SA cooling
+//                          trajectories on solve/run), schema xlp-series/1
+//   --profile-json <file>  enable the hierarchical profiler and dump the
+//                          merged scope tree as JSON after the run
+//
+// Run ledger:
+//   every subcommand appends one JSONL record to <out-dir>/ledger.jsonl
+//   (run id = content hash over subcommand + canonical scenario params +
+//   seed + git sha; plus provenance, wall time, exit status and artifact
+//   paths). --out-dir <dir> relocates the ledger (default "."),
+//   --no-ledger disables it.
 //
 // Parallel execution (see docs/parallelism.md):
 //   --threads <N>          pool workers for portfolios (`solve --chains`),
@@ -59,6 +74,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iostream>
@@ -76,7 +92,12 @@
 #include "exp/fault_campaign.hpp"
 #include "exp/scenarios.hpp"
 #include "latency/model.hpp"
+#include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/provenance.hpp"
+#include "obs/report.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "power/model.hpp"
 #include "runctl/checkpoint.hpp"
@@ -91,6 +112,7 @@
 #include "util/error.hpp"
 #include "util/fsio.hpp"
 #include "util/parallel.hpp"
+#include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
 using namespace xlp;
@@ -103,11 +125,38 @@ constexpr int kExitInterrupted = 130;
 int usage() {
   std::fprintf(stderr,
                "usage: xlp <solve|sweep|simulate|trace|replay|appspec|run|"
-               "faults|bench> "
+               "faults|bench|report> "
                "[options]\n(see the header of tools/xlp_cli.cpp for the "
                "full option list)\n");
   return kExitUsage;
 }
+
+/// What the running subcommand contributes to its run-ledger record.
+/// Commands fill the scenario identity (subcommand, canonical params,
+/// seed) up front and register artifact paths as they write them; main()
+/// appends the finished record once, after the command returns. File
+/// scope, like the cancel token: the cmd_* functions only see Args.
+struct LedgerContext {
+  bool filled = false;
+  obs::LedgerEntry entry;
+
+  /// Declares the scenario identity. `params` must hold only inputs that
+  /// define the run (never output paths, thread counts or time limits) so
+  /// the run id is stable across machines and thread counts.
+  void describe(std::string subcommand, obs::Json params,
+                std::uint64_t seed) {
+    filled = true;
+    entry.subcommand = std::move(subcommand);
+    entry.params = std::move(params);
+    entry.seed = seed;
+  }
+
+  void artifact(const std::string& path) {
+    if (!path.empty()) entry.artifacts.push_back(path);
+  }
+};
+
+LedgerContext g_ledger;
 
 /// Process-wide cancellation token, flipped by SIGINT/SIGTERM. Lives at
 /// file scope so the async-signal-safe handler can reach it.
@@ -172,15 +221,44 @@ class TraceOutput {
   [[nodiscard]] obs::TraceSink* sink_or_null() { return sink_.get(); }
 
   void report() const {
-    if (sink_)
+    if (sink_) {
       std::printf("  trace: %ld events -> %s\n", sink_->events_written(),
                   path_.c_str());
+      g_ledger.artifact(path_);
+    }
   }
 
  private:
   std::string path_;
   std::ofstream stream_;
   std::unique_ptr<obs::JsonlTraceSink> sink_;
+};
+
+/// Owns the optional `--series <file.json>` recorder: commands hand the
+/// recorder (or nullptr, costing a single branch at each instrumentation
+/// site) to the simulator / annealer, and report() writes the document
+/// once at the end.
+class SeriesOutput {
+ public:
+  explicit SeriesOutput(const Args& args)
+      : path_(args.get_or("series", "")) {}
+
+  /// For SimConfig::series / SaParams::series, which treat nullptr as off.
+  [[nodiscard]] obs::SeriesRecorder* recorder_or_null() {
+    return path_.empty() ? nullptr : &recorder_;
+  }
+
+  void report() {
+    if (path_.empty()) return;
+    std::printf("  series: %zu series -> %s %s\n", recorder_.names().size(),
+                path_.c_str(),
+                recorder_.write_json_file(path_) ? "written" : "NOT WRITTEN");
+    g_ledger.artifact(path_);
+  }
+
+ private:
+  std::string path_;
+  obs::SeriesRecorder recorder_;
 };
 
 /// Observer that forwards every SA cooling step to the trace sink as an
@@ -205,6 +283,7 @@ void write_stats_if_requested(const Args& args, const sim::SimStats& stats) {
   if (path.empty()) return;
   std::printf("  stats-json: %s %s\n", path.c_str(),
               sim::write_stats_json(stats, path) ? "written" : "NOT WRITTEN");
+  g_ledger.artifact(path);
 }
 
 std::vector<topo::RowLink> parse_links(const std::string& spec) {
@@ -238,14 +317,24 @@ int cmd_solve(const Args& args) {
   const long moves = args.get_long("moves", 10000);
   const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
   const int chains = static_cast<int>(args.get_long("chains", 1));
+  g_ledger.describe("solve",
+                    obs::Json::object()
+                        .set("n", n)
+                        .set("c", c)
+                        .set("method", method)
+                        .set("moves", moves)
+                        .set("chains", chains),
+                    seed);
 
   const core::RowObjective objective(n, route::HopWeights{});
   TraceOutput trace(args);
+  SeriesOutput series(args);
   runctl::RunControl control = make_run_control(args);
   const std::string checkpoint_path = args.get_or("checkpoint", "");
   const long checkpoint_every = args.get_long("checkpoint-every", 10000);
   core::SaParams params = core::SaParams{}.with_moves(moves);
   params.observer = sa_trace_observer(trace.sink());
+  params.series = series.recorder_or_null();
   params.control = &control;
   params.checkpoint_sink = checkpoint_file_sink(checkpoint_path);
   params.checkpoint_every_moves = checkpoint_every;
@@ -257,6 +346,7 @@ int cmd_solve(const Args& args) {
     options.chains = chains;
     options.sa = params;
     options.sa.checkpoint_sink = {};  // the portfolio wires its own sinks
+    options.series = series.recorder_or_null();
     options.control = control;
     options.checkpoint_path = checkpoint_path;
     options.checkpoint_every_moves = checkpoint_every;
@@ -296,22 +386,33 @@ int cmd_solve(const Args& args) {
               result.seconds);
   report_status(result.status, "solve", trace.sink());
   if (!checkpoint_path.empty() &&
-      result.status != runctl::RunStatus::kCompleted)
+      result.status != runctl::RunStatus::kCompleted) {
     std::printf("  checkpoint: %s (resume with `xlp run --resume %s`)\n",
                 checkpoint_path.c_str(), checkpoint_path.c_str());
+    g_ledger.artifact(checkpoint_path);
+  }
   trace.report();
+  series.report();
   return 0;
 }
 
 int cmd_sweep(const Args& args) {
   const int n = static_cast<int>(args.get_long("n", 8));
   const int height = static_cast<int>(args.get_long("height", n));
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
   core::SweepOptions options;
   options.sa = core::SaParams{}.with_moves(args.get_long("moves", 10000));
   options.base_flit_bits =
       static_cast<int>(args.get_long("base-flit", topo::kBaseFlitBits));
   options.latency = latency::LatencyParams::zero_load();
-  Rng rng(static_cast<std::uint64_t>(args.get_long("seed", 1)));
+  g_ledger.describe("sweep",
+                    obs::Json::object()
+                        .set("n", n)
+                        .set("height", height)
+                        .set("moves", options.sa.total_moves)
+                        .set("base_flit", options.base_flit_bits),
+                    seed);
+  Rng rng(seed);
   const auto points =
       height == n ? core::sweep_link_limits(n, options, rng)
                   : core::sweep_link_limits_rect(n, height, options, rng);
@@ -351,8 +452,22 @@ int cmd_simulate(const Args& args) {
   else if (routing == "o1turn") config.routing = sim::RoutingMode::kO1Turn;
   else XLP_REQUIRE(routing == "xy", "--routing must be xy, yx or o1turn");
 
+  g_ledger.describe("simulate",
+                    obs::Json::object()
+                        .set("n", n)
+                        .set("c", c)
+                        .set("links", args.get_or("links", ""))
+                        .set("pattern", pattern)
+                        .set("load", load)
+                        .set("cycles", config.measure_cycles)
+                        .set("vcs", config.vcs_per_port)
+                        .set("routing", routing)
+                        .set("vec", config.virtual_express_bypass),
+                    config.seed);
   TraceOutput trace(args);
   config.trace = trace.sink_or_null();
+  SeriesOutput series(args);
+  config.series = series.recorder_or_null();
   runctl::RunControl control = make_run_control(args);
   config.control = &control;
   const auto stats = exp::simulate_design(design, demand, config);
@@ -378,6 +493,7 @@ int cmd_simulate(const Args& args) {
   report_status(stats.status, "simulate", trace.sink());
   write_stats_if_requested(args, stats);
   trace.report();
+  series.report();
   return 0;
 }
 
@@ -385,9 +501,18 @@ int cmd_trace(const Args& args) {
   const int n = static_cast<int>(args.get_long("n", 8));
   const std::string out_path = args.get_or("out", "");
   XLP_REQUIRE(!out_path.empty(), "--out <file> is required");
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  g_ledger.describe("trace",
+                    obs::Json::object()
+                        .set("n", n)
+                        .set("pattern", args.get_or("pattern", "transpose"))
+                        .set("load", args.get_double("load", 0.02))
+                        .set("cycles", args.get_long("cycles", 10000)),
+                    seed);
+  g_ledger.artifact(out_path);
   const auto demand = resolve_workload(args.get_or("pattern", "transpose"),
                                        n, args.get_double("load", 0.02));
-  Rng rng(static_cast<std::uint64_t>(args.get_long("seed", 1)));
+  Rng rng(seed);
   const auto trace = traffic::Trace::sample(
       demand, latency::PacketMix::paper_default(),
       args.get_long("cycles", 10000), rng);
@@ -411,6 +536,12 @@ int cmd_replay(const Args& args) {
   const topo::RowTopology row(trace.side(),
                               parse_links(args.get_or("links", "")));
   const topo::ExpressMesh design = topo::make_design(row, c);
+  g_ledger.describe("replay",
+                    obs::Json::object()
+                        .set("trace", path)
+                        .set("links", args.get_or("links", ""))
+                        .set("c", c),
+                    0);
   runctl::RunControl control = make_run_control(args);
   sim::SimConfig replay_config;
   replay_config.control = &control;
@@ -445,6 +576,7 @@ core::SaParams schedule_from_checkpoint(const runctl::SaSchedule& s) {
 /// simulation phase is skipped and the refreshed checkpoint reported.
 int cmd_run(const Args& args) {
   TraceOutput trace(args);
+  SeriesOutput series(args);
   runctl::RunControl control = make_run_control(args);
   const std::string checkpoint_path = args.get_or("checkpoint", "");
   const long checkpoint_every = args.get_long("checkpoint-every", 10000);
@@ -453,6 +585,17 @@ int cmd_run(const Args& args) {
   int n = static_cast<int>(args.get_long("n", 8));
   int c = static_cast<int>(args.get_long("c", 4));
   auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  g_ledger.describe("run",
+                    obs::Json::object()
+                        .set("n", n)
+                        .set("c", c)
+                        .set("moves", args.get_long("moves", 10000))
+                        .set("pattern",
+                             args.get_or("pattern", "uniform_random"))
+                        .set("load", args.get_double("load", 0.02))
+                        .set("cycles", args.get_long("cycles", 10000))
+                        .set("resumed", !resume_path.empty()),
+                    seed);
 
   core::PlacementResult result;
   if (!resume_path.empty()) {
@@ -468,6 +611,7 @@ int cmd_run(const Args& args) {
       const core::RowObjective objective(n, route::HopWeights{});
       core::SaParams hooks;
       hooks.observer = sa_trace_observer(trace.sink());
+      hooks.series = series.recorder_or_null();
       hooks.control = &control;
       hooks.checkpoint_sink = checkpoint_file_sink(refresh);
       hooks.checkpoint_every_moves = checkpoint_every;
@@ -484,6 +628,7 @@ int cmd_run(const Args& args) {
       options.chains = pc.chains;
       options.sa = schedule_from_checkpoint(pc.schedule);
       options.sa.observer = sa_trace_observer(trace.sink());
+      options.series = series.recorder_or_null();
       options.solver = pc.solver == "onlysa" ? core::Solver::kOnlySa
                                              : core::Solver::kDcsa;
       options.control = control;
@@ -504,6 +649,7 @@ int cmd_run(const Args& args) {
     core::SaParams params =
         core::SaParams{}.with_moves(args.get_long("moves", 10000));
     params.observer = sa_trace_observer(trace.sink());
+    params.series = series.recorder_or_null();
     params.control = &control;
     params.checkpoint_sink = checkpoint_file_sink(checkpoint_path);
     params.checkpoint_every_moves = checkpoint_every;
@@ -522,11 +668,14 @@ int cmd_run(const Args& args) {
         !checkpoint_path.empty()
             ? checkpoint_path
             : (!resume_path.empty() ? resume_path : std::string());
-    if (!saved.empty())
+    if (!saved.empty()) {
       std::printf("  checkpoint: %s (resume with `xlp run --resume %s`)\n",
                   saved.c_str(), saved.c_str());
+      g_ledger.artifact(saved);
+    }
     std::printf("  simulation skipped (solve phase did not complete)\n");
     trace.report();
+    series.report();
     return 0;
   }
 
@@ -539,6 +688,7 @@ int cmd_run(const Args& args) {
   config.measure_cycles = args.get_long("cycles", 10000);
   config.seed = seed;
   config.trace = trace.sink_or_null();
+  config.series = series.recorder_or_null();
   config.control = &control;
   const auto stats = exp::simulate_design(design, demand, config);
   std::printf("simulated %s @ %.3f pkt/node/cycle: avg %.2f  p95 %.0f  p99 "
@@ -550,6 +700,7 @@ int cmd_run(const Args& args) {
   report_status(stats.status, "simulate", trace.sink());
   write_stats_if_requested(args, stats);
   trace.report();
+  series.report();
   return 0;
 }
 
@@ -571,6 +722,19 @@ int cmd_faults(const Args& args) {
   const std::string policy = args.get_or("policy", "drop");
   if (policy == "drain") config.policy = sim::FaultPolicy::kDrainThenSwap;
   else XLP_REQUIRE(policy == "drop", "--policy must be drop or drain");
+  g_ledger.describe("faults",
+                    obs::Json::object()
+                        .set("n", config.n)
+                        .set("c", config.link_limit)
+                        .set("kill_express", config.kill_links)
+                        .set("at_cycle", config.fault_cycle)
+                        .set("recover_at", config.recover_cycle)
+                        .set("trials", config.trials)
+                        .set("load", config.load)
+                        .set("policy", policy)
+                        .set("retries", config.max_retries)
+                        .set("rel_weight", config.reliability_weight),
+                    config.seed);
 
   TraceOutput trace(args);
   config.trace = trace.sink_or_null();
@@ -603,6 +767,7 @@ int cmd_faults(const Args& args) {
     if (!util::atomic_write_file(json_path, result.to_json().dump() + "\n"))
       throw Error(ErrorCode::kIo, "cannot write " + json_path);
     std::printf("  json: %s written\n", json_path.c_str());
+    g_ledger.artifact(json_path);
   }
   trace.report();
   return 0;
@@ -610,13 +775,21 @@ int cmd_faults(const Args& args) {
 
 int cmd_appspec(const Args& args) {
   const int n = static_cast<int>(args.get_long("n", 8));
+  const auto seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+  g_ledger.describe("appspec",
+                    obs::Json::object()
+                        .set("n", n)
+                        .set("workload", args.get_or("workload", "canneal"))
+                        .set("load", args.get_double("load", 0.02))
+                        .set("moves", args.get_long("moves", 2000)),
+                    seed);
   const auto demand = resolve_workload(args.get_or("workload", "canneal"),
                                        n, args.get_double("load", 0.02));
   core::SweepOptions options;
   options.sa = core::SaParams{}.with_moves(args.get_long("moves", 2000));
   options.latency = latency::LatencyParams::zero_load();
   options.report_traffic = demand;
-  Rng rng(static_cast<std::uint64_t>(args.get_long("seed", 1)));
+  Rng rng(seed);
   const auto result = core::solve_app_specific(demand, options, rng);
   std::printf("app-specific design: C=%d, weighted latency %.2f cycles\n",
               result.link_limit, result.breakdown.total());
@@ -641,8 +814,48 @@ int cmd_bench(const Args& args) {
   options.provenance =
       obs::Provenance::collect(static_cast<std::uint64_t>(
           args.get_long("seed", 0)));
+  g_ledger.describe("bench",
+                    obs::Json::object()
+                        .set("filter", options.filter)
+                        .set("repeats", options.repeats)
+                        .set("warmup", options.warmup)
+                        .set("deterministic", options.deterministic),
+                    options.provenance.seed);
   return bench::run_and_report(options, args.get_or("profile", ""),
                                args.has("list"));
+}
+
+/// Renders the single-file HTML dashboard for a run directory: line charts
+/// for every recorded series (xlp-series/1 documents plus series derived
+/// from JSONL traces), the channel-utilization heatmap, stats, profiler
+/// and ledger tables. The output embeds everything inline — no scripts, no
+/// external resources — so it can be archived or attached to CI artifacts
+/// as one file.
+int cmd_report(const Args& args) {
+  XLP_REQUIRE(!args.positional().empty(),
+              "usage: xlp report <run-dir> [--out <file.html>]");
+  const std::string dir = args.positional().front();
+  XLP_REQUIRE(std::filesystem::is_directory(dir),
+              "not a directory: " + dir);
+  g_ledger.describe("report", obs::Json::object().set("dir", dir), 0);
+
+  const obs::RunDirData data = obs::collect_run_dir(dir);
+  const std::string out_path = args.get_or(
+      "out", (std::filesystem::path(dir) / "report.html").string());
+  const std::string html = obs::render_report_html(data);
+  if (!util::atomic_write_file(out_path, html))
+    throw Error(ErrorCode::kIo, "cannot write " + out_path);
+  g_ledger.artifact(out_path);
+
+  std::size_t chart_count = data.trace_series.size();
+  if (data.series)
+    chart_count += obs::chart_series_from_json(*data.series).size();
+  std::printf("report: %s (%zu charts%s%s%s, %zu ledger records) -> %s\n",
+              dir.c_str(), chart_count, data.stats ? ", stats" : "",
+              data.heatmap ? ", heatmap" : "",
+              data.profile ? ", profile" : "", data.ledger.size(),
+              out_path.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -658,6 +871,15 @@ int main(int argc, char** argv) {
   if (const long threads = args.get_long("threads", 0); threads > 0)
     util::set_default_thread_count(static_cast<int>(threads));
 
+  // Global ledger / profiler flags, queried before dispatch so the
+  // unknown-option check below never flags them. (`bench` shares --out-dir
+  // with its BENCH_*.json documents: the ledger lands next to them.)
+  const std::string out_dir = args.get_or("out-dir", ".");
+  const bool no_ledger = args.has("no-ledger");
+  const std::string profile_path = args.get_or("profile-json", "");
+  if (!profile_path.empty()) obs::Profiler::enable();
+  Stopwatch wall;
+
   int rc;
   try {
     if (command == "solve") rc = cmd_solve(args);
@@ -669,16 +891,18 @@ int main(int argc, char** argv) {
     else if (command == "run") rc = cmd_run(args);
     else if (command == "faults") rc = cmd_faults(args);
     else if (command == "bench") rc = cmd_bench(args);
+    else if (command == "report") rc = cmd_report(args);
     else return usage();
 
     // Global telemetry flag: dump the process-wide metrics registry
     // (optimizer timers/counters accumulated during the command).
     if (const std::string metrics_path = args.get_or("metrics", "");
         !metrics_path.empty()) {
+      const bool written =
+          obs::MetricsRegistry::global().write_json_file(metrics_path);
       std::printf("  metrics: %s %s\n", metrics_path.c_str(),
-                  obs::MetricsRegistry::global().write_json_file(metrics_path)
-                      ? "written"
-                      : "NOT WRITTEN");
+                  written ? "written" : "NOT WRITTEN");
+      if (written) g_ledger.artifact(metrics_path);
     }
 
     const auto unknown = args.unknown_keys();
@@ -688,20 +912,51 @@ int main(int argc, char** argv) {
     }
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return e.code() == ErrorCode::kUsage ? kExitUsage : 1;
+    rc = e.code() == ErrorCode::kUsage ? kExitUsage : 1;
   } catch (const PreconditionError& e) {
     // Violated preconditions at the CLI boundary are bad arguments.
     std::fprintf(stderr, "error: %s\n", e.what());
-    return kExitUsage;
+    rc = kExitUsage;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
 
   // A SIGINT/SIGTERM stop is still the conventional 130 at the process
   // level, even though the command drained gracefully and saved its state.
   if (rc == 0 && g_cancel_token.cancelled() &&
       g_cancel_token.reason() == runctl::RunStatus::kInterrupted)
-    return kExitInterrupted;
+    rc = kExitInterrupted;
+
+  if (!profile_path.empty()) {
+    // Snapshot after the command has joined its worker pools so every
+    // thread's scope tree is final.
+    const obs::ProfileReport profile = obs::Profiler::snapshot();
+    if (util::atomic_write_file(profile_path,
+                                profile.to_json().dump() + "\n")) {
+      std::printf("  profile-json: %s written (%zu scopes)\n",
+                  profile_path.c_str(), profile.entries().size());
+      g_ledger.artifact(profile_path);
+    } else {
+      std::fprintf(stderr, "warning: could not write %s\n",
+                   profile_path.c_str());
+    }
+  }
+
+  // One ledger record per invocation, failures included (the exit status
+  // is part of the record). Best-effort: a read-only out-dir must not
+  // change the command's outcome.
+  if (g_ledger.filled && !no_ledger) {
+    const obs::Provenance prov = obs::Provenance::collect(g_ledger.entry.seed);
+    g_ledger.entry.git_sha = prov.git_sha;
+    g_ledger.entry.hostname = prov.hostname;
+    g_ledger.entry.wall_seconds = wall.seconds();
+    g_ledger.entry.exit_status = rc;
+    const std::string ledger_path =
+        (std::filesystem::path(out_dir) / "ledger.jsonl").string();
+    if (!obs::append_ledger_entry(ledger_path, g_ledger.entry))
+      std::fprintf(stderr, "warning: could not append to %s\n",
+                   ledger_path.c_str());
+  }
   return rc;
 }
