@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <vector>
 
 #include "core/branch_bound.hpp"
@@ -21,8 +22,12 @@
 #include "exp/scenarios.hpp"
 #include "harness.hpp"
 #include "latency/model.hpp"
+#include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "route/directional_paths.hpp"
+#include "svc/cache.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
 #include "topo/builders.hpp"
 #include "topo/connection_matrix.hpp"
 #include "traffic/app_models.hpp"
@@ -157,6 +162,122 @@ void register_micro_core() {
                    obs::SeriesRecorder recorder(512);
                    sim_run(&recorder, run);
                    g_sink = static_cast<double>(recorder.names().size());
+                 });
+  // Service-path kernels: the request content hash (canonical JSON +
+  // FNV-1a) and an in-memory cache hit — the two operations every request
+  // pays before any real work happens.
+  register_bench("micro_core", "request_hash", "smoke", [](BenchRun& run) {
+    svc::Request request;
+    request.kind = svc::RequestKind::kSolve;
+    request.n = 8;
+    request.link_limit = 4;
+    constexpr int kIters = 200;
+    for (int i = 0; i < kIters; ++i) {
+      request.seed = static_cast<std::uint64_t>(i);
+      g_sink = static_cast<double>(request.id().size());
+    }
+    run.set_items(kIters);
+  });
+  register_bench("micro_core", "cache_lookup", "smoke", [](BenchRun& run) {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "xlp_bench_cache_lookup")
+            .string();
+    std::filesystem::remove_all(dir);
+    obs::MetricsRegistry metrics;
+    svc::ResultCache cache(dir, 64, &metrics);
+    svc::Request request;
+    const std::string id = request.id();
+    cache.put(id, "{\"kind\":\"solve\",\"value\":7.5}");
+    constexpr int kIters = 200;
+    for (int i = 0; i < kIters; ++i) {
+      const auto hit = cache.get(id);
+      g_sink = hit ? static_cast<double>(hit->size()) : -1.0;
+    }
+    run.set_items(kIters);
+    std::filesystem::remove_all(dir);
+  });
+}
+
+// Serves one batch on a fresh server + cache rooted at `dir` and returns
+// the served-requests/sec the caller should report (requests / seconds).
+void register_svc() {
+  namespace fs = std::filesystem;
+  const auto fresh_server = [](const std::string& dir,
+                               obs::MetricsRegistry& metrics) {
+    fs::remove_all(dir);
+    svc::ServerOptions options;
+    options.cache_dir = dir;
+    options.metrics = &metrics;
+    return options;
+  };
+  // 0% duplicates: every request of an 8x8 C-sweep batch is unique, so the
+  // server executes all of them — the no-benefit floor of the cache.
+  register_bench("svc", "serve_sweep8_unique", "smoke",
+                 [fresh_server](BenchRun& run) {
+                   const auto batch = svc::sweep_batch(8, "dcsa", 300, 1);
+                   obs::MetricsRegistry metrics;
+                   svc::Server server(fresh_server(
+                       (fs::temp_directory_path() / "xlp_bench_svc_u")
+                           .string(),
+                       metrics));
+                   const auto replies = server.serve_batch(batch);
+                   g_sink = static_cast<double>(replies.size());
+                   run.set_items(static_cast<long>(batch.size()));
+                   run.set_rate("requests",
+                                static_cast<double>(batch.size()));
+                   run.set_counter("executed", static_cast<double>(
+                                       metrics.counter("svc.executed")));
+                 });
+  // 90% duplicates: the same sweep batch submitted ten times over — the
+  // shape of a parameter-sweep campaign. Only the first tenth executes.
+  register_bench("svc", "serve_sweep8_dup90", "smoke",
+                 [fresh_server](BenchRun& run) {
+                   const auto unique = svc::sweep_batch(8, "dcsa", 300, 1);
+                   std::vector<svc::Request> batch;
+                   for (int copy = 0; copy < 10; ++copy)
+                     batch.insert(batch.end(), unique.begin(), unique.end());
+                   obs::MetricsRegistry metrics;
+                   svc::Server server(fresh_server(
+                       (fs::temp_directory_path() / "xlp_bench_svc_d")
+                           .string(),
+                       metrics));
+                   const auto replies = server.serve_batch(batch);
+                   g_sink = static_cast<double>(replies.size());
+                   run.set_items(static_cast<long>(batch.size()));
+                   run.set_rate("requests",
+                                static_cast<double>(batch.size()));
+                   run.set_counter("executed", static_cast<double>(
+                                       metrics.counter("svc.executed")));
+                 });
+  // The acceptance scenario (docs/service.md): an 8x8 C-sweep submitted
+  // twice end to end. The second submission is answered entirely from the
+  // cache; the recorded speedup is cold/warm wall time.
+  register_bench("svc", "sweep8_resubmit_speedup", "smoke",
+                 [fresh_server](BenchRun& run) {
+                   const auto batch = svc::sweep_batch(8, "dcsa", 300, 1);
+                   obs::MetricsRegistry metrics;
+                   svc::Server server(fresh_server(
+                       (fs::temp_directory_path() / "xlp_bench_svc_r")
+                           .string(),
+                       metrics));
+                   Stopwatch cold_timer;
+                   g_sink = static_cast<double>(
+                       server.serve_batch(batch).size());
+                   const double cold = cold_timer.seconds();
+                   Stopwatch warm_timer;
+                   g_sink = static_cast<double>(
+                       server.serve_batch(batch).size());
+                   const double warm = warm_timer.seconds();
+                   run.set_items(2L * static_cast<long>(batch.size()));
+                   run.set_rate("requests",
+                                2.0 * static_cast<double>(batch.size()));
+                   run.set_counter("executed", static_cast<double>(
+                                       metrics.counter("svc.executed")));
+                   run.set_payload(obs::Json::object()
+                                       .set("cold_seconds", cold)
+                                       .set("warm_seconds", warm)
+                                       .set("speedup",
+                                            warm > 0.0 ? cold / warm : 0.0));
                  });
 }
 
@@ -417,6 +538,7 @@ void register_all_suites() {
   done = true;
   register_micro_core();
   register_sim();
+  register_svc();
   register_fig07();
   register_scalability();
   register_fault_campaign();

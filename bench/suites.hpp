@@ -8,8 +8,11 @@ namespace xlp::bench {
 /// or on the linker keeping unreferenced objects alive.
 ///
 /// Suites:
-///   micro_core     — optimizer/routing kernels (ns/op)
+///   micro_core     — optimizer/routing kernels (ns/op), including the
+///                    service request hash and cache lookup
 ///   sim            — flit simulator throughput (cycles/sec, packets/sec)
+///   svc            — batch server served-requests/sec at 0% / 90%
+///                    duplicates, plus the sweep-resubmit cache speedup
 ///   fig07_runtime  — Fig. 7 quality-vs-budget series (payload)
 ///   scalability    — sweep cost/benefit vs network size
 ///   fault_campaign — Monte Carlo fault-resilience campaign

@@ -1,0 +1,52 @@
+#include "obs/canonical.hpp"
+
+#include <algorithm>
+
+namespace xlp::obs {
+
+Json canonical_sorted(const Json& value) {
+  switch (value.type()) {
+    case Json::Type::kArray: {
+      Json out = Json::array();
+      for (std::size_t i = 0; i < value.size(); ++i)
+        out.push(canonical_sorted(value.at(i)));
+      return out;
+    }
+    case Json::Type::kObject: {
+      std::vector<const std::pair<std::string, Json>*> members;
+      members.reserve(value.members().size());
+      for (const auto& member : value.members()) members.push_back(&member);
+      std::stable_sort(members.begin(), members.end(),
+                       [](const auto* a, const auto* b) {
+                         return a->first < b->first;
+                       });
+      Json out = Json::object();
+      for (const auto* member : members)
+        out.set(member->first, canonical_sorted(member->second));
+      return out;
+    }
+    default:
+      return value;
+  }
+}
+
+std::string canonical_json(const Json& value) {
+  return canonical_sorted(value).dump();
+}
+
+std::string fnv1a64_hex(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[h & 0xF];
+    h >>= 4;
+  }
+  return out;
+}
+
+}  // namespace xlp::obs

@@ -2,32 +2,14 @@
 
 #include <sstream>
 
+#include "obs/canonical.hpp"
 #include "util/fsio.hpp"
 
 namespace xlp::obs {
 
-namespace {
-
-std::string fnv1a64_hex(const std::string& bytes) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ULL;
-  }
-  static const char* kHex = "0123456789abcdef";
-  std::string out(16, '0');
-  for (int i = 15; i >= 0; --i) {
-    out[static_cast<std::size_t>(i)] = kHex[h & 0xF];
-    h >>= 4;
-  }
-  return out;
-}
-
-}  // namespace
-
 std::string ledger_run_id(const std::string& subcommand, const Json& params,
                           std::uint64_t seed, const std::string& git_sha) {
-  return fnv1a64_hex(subcommand + "\n" + params.dump() + "\n" +
+  return fnv1a64_hex(subcommand + "\n" + canonical_json(params) + "\n" +
                      std::to_string(seed) + "\n" + git_sha);
 }
 
@@ -38,7 +20,7 @@ std::string LedgerEntry::run_id() const {
 Json LedgerEntry::to_json() const {
   Json artifact_list = Json::array();
   for (const std::string& a : artifacts) artifact_list.push(a);
-  return Json::object()
+  Json record = Json::object()
       .set("schema", "xlp-ledger/1")
       .set("run_id", run_id())
       .set("subcommand", subcommand)
@@ -47,8 +29,9 @@ Json LedgerEntry::to_json() const {
       .set("git_sha", git_sha)
       .set("hostname", hostname)
       .set("wall_seconds", wall_seconds)
-      .set("exit_status", exit_status)
-      .set("artifacts", std::move(artifact_list));
+      .set("exit_status", exit_status);
+  if (cache_hit >= 0) record.set("cache_hit", cache_hit != 0);
+  return record.set("artifacts", std::move(artifact_list));
 }
 
 bool append_ledger_entry(const std::string& path, const LedgerEntry& entry) {

@@ -32,6 +32,11 @@ struct LedgerEntry {
   /// Paths of every artifact the run wrote (traces, stats, checkpoints,
   /// series, reports), in the order they were registered.
   std::vector<std::string> artifacts;
+  /// Whether this request was served from the svc result cache: -1 (the
+  /// default) omits the field — a direct run, not served by `xlpd`; 0 / 1
+  /// serialize as `"cache_hit": false / true`. Not part of the run id
+  /// (execution detail, like wall time).
+  int cache_hit = -1;
 
   /// Content-hashed scenario identity (16 lowercase hex chars); see
   /// ledger_run_id().
@@ -43,9 +48,10 @@ struct LedgerEntry {
 };
 
 /// FNV-1a 64-bit over the canonical byte string
-/// `subcommand \n params.dump() \n seed \n git_sha`, hex-encoded. Stable
-/// across platforms, processes and thread counts: it depends only on the
-/// scenario identity.
+/// `subcommand \n canonical_json(params) \n seed \n git_sha`, hex-encoded
+/// (see obs/canonical.hpp — object keys are sorted, so member insertion
+/// order never matters). Stable across platforms, processes and thread
+/// counts: it depends only on the scenario identity.
 [[nodiscard]] std::string ledger_run_id(const std::string& subcommand,
                                         const Json& params,
                                         std::uint64_t seed,

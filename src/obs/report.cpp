@@ -462,7 +462,7 @@ std::string render_report_html(const RunDirData& data) {
   if (!data.ledger.empty()) {
     body += "<h2>Run ledger</h2>\n<table>\n"
             "<tr><th>run id</th><th>subcommand</th><th>seed</th>"
-            "<th>git sha</th><th>wall s</th><th>exit</th>"
+            "<th>git sha</th><th>wall s</th><th>exit</th><th>cache</th>"
             "<th>artifacts</th></tr>\n";
     for (const Json& rec : data.ledger) {
       const auto str = [&rec](const char* key) {
@@ -480,7 +480,14 @@ std::string render_report_html(const RunDirData& data) {
               "</code></td><td class=\"num\">" +
               fmt(field_number(rec, "wall_seconds", 0)) +
               "</td><td class=\"num\">" +
-              fmt(field_number(rec, "exit_status", 0)) +
+              fmt(field_number(rec, "exit_status", 0)) + "</td><td>" +
+              // svc requests carry cache_hit; direct runs omit the field.
+              [&rec] {
+                const Json* hit = rec.find("cache_hit");
+                if (hit == nullptr || hit->type() != Json::Type::kBool)
+                  return std::string();
+                return std::string(hit->as_bool() ? "hit" : "miss");
+              }() +
               "</td><td class=\"num\">" +
               std::to_string(artifacts != nullptr ? artifacts->size() : 0) +
               "</td></tr>\n";

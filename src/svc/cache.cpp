@@ -1,0 +1,131 @@
+#include "svc/cache.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "util/fsio.hpp"
+
+namespace xlp::svc {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// A cache id is exactly what Request::id() produces; anything else in the
+/// directory (editor droppings, the metrics dump) is not an entry.
+bool looks_like_id(const std::string& stem) {
+  if (stem.size() != 16) return false;
+  return std::all_of(stem.begin(), stem.end(), [](char c) {
+    return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+  });
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string dir, std::size_t max_entries,
+                         obs::MetricsRegistry* metrics)
+    : dir_(std::move(dir)),
+      max_entries_(std::max<std::size_t>(1, max_entries)),
+      metrics_(metrics != nullptr ? metrics
+                                  : &obs::MetricsRegistry::global()) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+
+  // Rebuild the index from disk, oldest first so the LRU order roughly
+  // reflects the previous process's write order (ties broken by name for
+  // determinism on coarse-mtime filesystems).
+  struct Found {
+    fs::file_time_type mtime;
+    std::string name;
+    std::string path;
+  };
+  std::vector<Found> found;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const fs::path& path = entry.path();
+    if (path.extension() != ".json" ||
+        !looks_like_id(path.stem().string()))
+      continue;
+    found.push_back({entry.last_write_time(ec), path.stem().string(),
+                     path.string()});
+  }
+  std::sort(found.begin(), found.end(), [](const Found& a, const Found& b) {
+    return a.mtime != b.mtime ? a.mtime < b.mtime : a.name < b.name;
+  });
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& file : found) {
+    const auto payload = util::read_file(file.path);
+    // Only complete JSON documents re-enter the index; atomic writes make
+    // torn files impossible, so a reject here is foreign junk.
+    if (!payload || !obs::Json::parse(*payload)) continue;
+    lru_.push_front(file.name);
+    entries_[file.name] = Entry{*payload, lru_.begin()};
+    evict_if_needed_locked();
+  }
+  metrics_->set_gauge("svc.cache.entries",
+                      static_cast<double>(entries_.size()));
+}
+
+std::optional<std::string> ResultCache::get(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    metrics_->add("svc.cache.misses");
+    return std::nullopt;
+  }
+  touch_locked(id);
+  metrics_->add("svc.cache.hits");
+  return it->second.payload;
+}
+
+bool ResultCache::contains(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.find(id) != entries_.end();
+}
+
+bool ResultCache::put(const std::string& id, const std::string& payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    it->second.payload = payload;
+    touch_locked(id);
+  } else {
+    lru_.push_front(id);
+    entries_[id] = Entry{payload, lru_.begin()};
+    evict_if_needed_locked();
+    metrics_->set_gauge("svc.cache.entries",
+                        static_cast<double>(entries_.size()));
+  }
+  return util::atomic_write_file(
+      (fs::path(dir_) / (id + ".json")).string(), payload);
+}
+
+std::size_t ResultCache::size() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void ResultCache::evict_if_needed_locked() {
+  while (entries_.size() > max_entries_) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    std::error_code ec;
+    fs::remove(fs::path(dir_) / (victim + ".json"), ec);
+    metrics_->add("svc.cache.evictions");
+  }
+}
+
+void ResultCache::touch_locked(const std::string& id) {
+  auto& entry = entries_.at(id);
+  lru_.erase(entry.lru_pos);
+  lru_.push_front(id);
+  entry.lru_pos = lru_.begin();
+}
+
+}  // namespace xlp::svc

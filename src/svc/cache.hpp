@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace xlp::obs {
+class MetricsRegistry;
+}
+
+namespace xlp::svc {
+
+/// Content-addressed, persisted result cache: payload bytes keyed by the
+/// request's content hash (Request::id()).
+///
+/// Layout on disk is one file per entry, `<dir>/<id>.json`, written
+/// through util::atomic_write_file — a crash or kill mid-put leaves either
+/// no file or a complete one, never a torn payload, so a restarted server
+/// can trust every file it finds. The constructor rescans the directory
+/// (oldest first by mtime, ties by name) and rebuilds the in-memory index,
+/// which is how hits survive a kill-and-restart.
+///
+/// The in-memory index holds the payload bytes too (service payloads are
+/// small JSON documents), bounded by an LRU of `max_entries`: inserting
+/// past the bound evicts the least-recently-used entry from memory *and*
+/// disk. All operations are thread-safe (one internal mutex) — pool
+/// workers share one cache.
+///
+/// Metrics (svc.cache.hits / misses / evictions counters and the
+/// svc.cache.entries gauge) are recorded into the registry passed at
+/// construction, obs::MetricsRegistry::global() by default.
+class ResultCache {
+ public:
+  explicit ResultCache(std::string dir, std::size_t max_entries = 4096,
+                       obs::MetricsRegistry* metrics = nullptr);
+
+  /// The payload stored for `id`, refreshing its recency; nullopt on miss.
+  [[nodiscard]] std::optional<std::string> get(const std::string& id);
+
+  /// True without touching recency or hit/miss counters; for cheap probes.
+  [[nodiscard]] bool contains(const std::string& id);
+
+  /// Inserts (or refreshes) an entry and persists it. Returns false when
+  /// the file write failed — the entry is still served from memory, so a
+  /// read-only cache dir degrades to a memory-only cache instead of
+  /// failing requests.
+  bool put(const std::string& id, const std::string& payload);
+
+  [[nodiscard]] std::size_t size();
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+ private:
+  void evict_if_needed_locked();
+  void touch_locked(const std::string& id);
+
+  std::string dir_;
+  std::size_t max_entries_;
+  obs::MetricsRegistry* metrics_;
+
+  std::mutex mutex_;
+  /// Most-recently-used at the front.
+  std::list<std::string> lru_;
+  struct Entry {
+    std::string payload;
+    std::list<std::string>::iterator lru_pos;
+  };
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace xlp::svc

@@ -1,0 +1,146 @@
+#include "svc/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <thread>
+
+#include "topo/row_topology.hpp"
+#include "util/fsio.hpp"
+
+namespace xlp::svc {
+
+namespace fs = std::filesystem;
+
+std::vector<Request> sweep_batch(int n, const std::string& method,
+                                 long moves, std::uint64_t seed,
+                                 int base_flit_bits) {
+  std::vector<Request> batch;
+  for (const int limit : topo::valid_link_limits(n)) {
+    if (base_flit_bits % limit != 0) continue;
+    Request request;
+    request.kind = RequestKind::kSolve;
+    request.n = n;
+    request.link_limit = limit;
+    request.base_flit_bits = base_flit_bits;
+    request.method = method;
+    request.moves = moves;
+    request.seed = seed;
+    batch.push_back(std::move(request));
+  }
+  return batch;
+}
+
+std::string batch_to_text(const std::vector<Request>& batch) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (i > 0) out += ",";
+    out += batch[i].to_json().dump();
+  }
+  out += "]";
+  return out;
+}
+
+bool queue_submit(const std::string& queue_dir, const std::string& name,
+                  const std::string& text) {
+  return util::atomic_write_file(
+      (fs::path(queue_dir) / "inbox" / (name + ".json")).string(), text);
+}
+
+std::optional<std::string> queue_wait(const std::string& queue_dir,
+                                      const std::string& name,
+                                      double timeout_seconds) {
+  const fs::path reply_path =
+      fs::path(queue_dir) / "outbox" / (name + ".json");
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  while (true) {
+    if (auto text = util::read_file(reply_path.string())) {
+      std::error_code ec;
+      fs::remove(reply_path, ec);
+      return text;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+namespace {
+
+bool write_exact(int fd, const char* data, std::size_t bytes) {
+  while (bytes > 0) {
+    const ssize_t put = ::write(fd, data, bytes);
+    if (put < 0 && errno == EINTR) continue;
+    if (put <= 0) return false;
+    data += put;
+    bytes -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+bool read_exact(int fd, char* data, std::size_t bytes) {
+  while (bytes > 0) {
+    const ssize_t got = ::read(fd, data, bytes);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) return false;
+    data += got;
+    bytes -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::string> socket_submit(const std::string& socket_path,
+                                         const std::string& text) {
+  if (socket_path.size() >= sizeof(sockaddr_un{}.sun_path))
+    return std::nullopt;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  std::strncpy(address.sun_path, socket_path.c_str(),
+               sizeof(address.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
+                sizeof(address)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+
+  const auto length = static_cast<std::uint32_t>(text.size());
+  const char header[4] = {static_cast<char>(length & 0xff),
+                          static_cast<char>((length >> 8) & 0xff),
+                          static_cast<char>((length >> 16) & 0xff),
+                          static_cast<char>((length >> 24) & 0xff)};
+  std::optional<std::string> reply;
+  if (write_exact(fd, header, 4) &&
+      (text.empty() || write_exact(fd, text.data(), text.size()))) {
+    char reply_header[4];
+    if (read_exact(fd, reply_header, 4)) {
+      const std::uint32_t reply_length =
+          (static_cast<std::uint32_t>(
+               static_cast<unsigned char>(reply_header[0]))) |
+          (static_cast<std::uint32_t>(
+               static_cast<unsigned char>(reply_header[1]))
+           << 8) |
+          (static_cast<std::uint32_t>(
+               static_cast<unsigned char>(reply_header[2]))
+           << 16) |
+          (static_cast<std::uint32_t>(
+               static_cast<unsigned char>(reply_header[3]))
+           << 24);
+      std::string body(reply_length, '\0');
+      if (reply_length == 0 || read_exact(fd, body.data(), reply_length))
+        reply = std::move(body);
+    }
+  }
+  ::close(fd);
+  return reply;
+}
+
+}  // namespace xlp::svc

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "svc/request.hpp"
+
+namespace xlp::svc {
+
+/// Client-side helpers for talking to `xlpd`: batch construction plus the
+/// two transports (file queue, local socket). The drivers that used to run
+/// solves in-process — the C sweep, fault campaigns — build their work as
+/// Request batches and submit through these, so repeated design points are
+/// answered by the server's content-addressed cache instead of re-solved.
+
+/// The C-sweep as a request batch: one kSolve request per feasible link
+/// limit of an n-router row (limits that do not divide `base_flit_bits`
+/// are skipped, exactly like core::sweep_link_limits).
+[[nodiscard]] std::vector<Request> sweep_batch(int n,
+                                               const std::string& method,
+                                               long moves,
+                                               std::uint64_t seed,
+                                               int base_flit_bits = 256);
+
+/// Serializes a batch as the submission document `xlpd` ingests: a JSON
+/// array of request objects (a single-element batch still serializes as an
+/// array — the reply shape then tells object from array submissions).
+[[nodiscard]] std::string batch_to_text(const std::vector<Request>& batch);
+
+/// Drops a submission into `<queue_dir>/inbox/<name>.json` (atomically, so
+/// the server never reads a torn file). Returns false on write failure.
+[[nodiscard]] bool queue_submit(const std::string& queue_dir,
+                                const std::string& name,
+                                const std::string& text);
+
+/// Polls `<queue_dir>/outbox/<name>.json` until the reply appears, the
+/// timeout elapses, or `cancelled` (optional) returns true. The reply file
+/// is consumed (removed) on success.
+[[nodiscard]] std::optional<std::string> queue_wait(
+    const std::string& queue_dir, const std::string& name,
+    double timeout_seconds);
+
+/// One round trip over the `xlpd` local socket: connect, send the
+/// submission as a length-prefixed frame, read the reply frame. nullopt
+/// when the server is unreachable or the connection breaks.
+[[nodiscard]] std::optional<std::string> socket_submit(
+    const std::string& socket_path, const std::string& text);
+
+}  // namespace xlp::svc

@@ -1,0 +1,297 @@
+#include "svc/request.hpp"
+
+#include <sstream>
+
+#include "core/branch_bound.hpp"
+#include "core/drivers.hpp"
+#include "core/objective.hpp"
+#include "exp/scenarios.hpp"
+#include "latency/model.hpp"
+#include "obs/canonical.hpp"
+#include "runctl/control.hpp"
+#include "sim/simulator.hpp"
+#include "topo/builders.hpp"
+#include "traffic/app_models.hpp"
+#include "traffic/patterns.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace xlp::svc {
+
+namespace {
+
+[[noreturn]] void bad_request(const std::string& message) {
+  throw Error(ErrorCode::kParse, message);
+}
+
+/// "lo-hi,lo-hi,..."; "" and "none" mean no express links.
+std::vector<topo::RowLink> parse_links(const std::string& spec) {
+  std::vector<topo::RowLink> links;
+  if (spec.empty() || spec == "none") return links;
+  std::stringstream stream(spec);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    const auto dash = item.find('-');
+    if (dash == std::string::npos || dash == 0 || dash + 1 >= item.size())
+      bad_request("links entries look like lo-hi, comma separated: '" +
+                  item + "'");
+    try {
+      links.push_back({std::stoi(item.substr(0, dash)),
+                       std::stoi(item.substr(dash + 1))});
+    } catch (const std::exception&) {
+      bad_request("non-numeric links entry '" + item + "'");
+    }
+  }
+  return links;
+}
+
+bool is_known_workload(const std::string& name) {
+  if (traffic::pattern_from_string(name)) return true;
+  for (const auto& model : traffic::parsec_models())
+    if (model.name == name) return true;
+  return false;
+}
+
+traffic::TrafficMatrix resolve_workload(const std::string& name, int n,
+                                        double load) {
+  if (const auto pattern = traffic::pattern_from_string(name))
+    return traffic::TrafficMatrix::from_pattern(*pattern, n, load);
+  return traffic::parsec_model(name).traffic_matrix(n);
+}
+
+/// The design point an evaluate/simulate request names: the placement row
+/// replicated over every row and column at the request's C and B.
+topo::ExpressMesh design_of(const Request& request) {
+  const topo::RowTopology row(request.n, parse_links(request.links));
+  return topo::make_design(row, request.link_limit, request.base_flit_bits);
+}
+
+obs::Json execute_solve(const Request& request, runctl::RunControl* control) {
+  const core::RowObjective objective(request.n, route::HopWeights{});
+  runctl::RunControl local;
+  if (control == nullptr) control = &local;
+
+  core::PlacementResult result;
+  if (request.method == "dcsa" || request.method == "onlysa") {
+    core::SaParams params = core::SaParams{}.with_moves(request.moves);
+    params.control = control;
+    Rng rng(request.seed);
+    result = request.method == "dcsa"
+                 ? core::solve_dcsa(objective, request.link_limit, params, rng)
+                 : core::solve_only_sa(objective, request.link_limit, params,
+                                       rng);
+  } else if (request.method == "dnc") {
+    core::DncOptions dnc;
+    dnc.control = control;
+    result = core::solve_dnc_only(objective, request.link_limit, dnc);
+  } else {
+    core::BranchAndBound bb(objective, request.link_limit, control);
+    const auto exact = bb.solve();
+    result.placement = exact.placement;
+    result.value = exact.value;
+    result.evaluations = objective.evaluations();
+    result.method = "exact";
+    result.status = exact.status;
+  }
+  if (result.status != runctl::RunStatus::kCompleted)
+    throw Error(ErrorCode::kState,
+                std::string("solve stopped early (") +
+                    runctl::to_string(result.status) + ")");
+  return obs::Json::object()
+      .set("kind", "solve")
+      .set("placement", result.placement.to_string())
+      .set("value", result.value)
+      .set("evaluations", static_cast<long>(result.evaluations))
+      .set("method", result.method);
+}
+
+obs::Json execute_evaluate(const Request& request) {
+  const topo::ExpressMesh design = design_of(request);
+  latency::LatencyParams params = latency::LatencyParams::zero_load();
+  params.contention_per_hop = request.contention_per_hop;
+  const latency::MeshLatencyModel model(design, params);
+  const auto demand =
+      resolve_workload(request.workload, request.n, request.load);
+  const latency::LatencyBreakdown breakdown =
+      model.weighted_average(demand.rates());
+  return obs::Json::object()
+      .set("kind", "evaluate")
+      .set("total", breakdown.total())
+      .set("head", breakdown.head)
+      .set("serialization", breakdown.serialization)
+      .set("worst_case", model.worst_case())
+      .set("avg_hops", model.average_hops())
+      .set("flit_bits", design.flit_bits());
+}
+
+obs::Json execute_simulate(const Request& request,
+                           runctl::RunControl* control) {
+  const topo::ExpressMesh design = design_of(request);
+  const auto demand =
+      resolve_workload(request.workload, request.n, request.load);
+  sim::SimConfig config;
+  config.measure_cycles = request.cycles;
+  config.vcs_per_port = request.vcs;
+  config.seed = request.seed;
+  config.control = control;
+  if (request.routing == "yx") config.routing = sim::RoutingMode::kYX;
+  else if (request.routing == "o1turn")
+    config.routing = sim::RoutingMode::kO1Turn;
+  const sim::SimStats stats = exp::simulate_design(design, demand, config);
+  if (stats.status != runctl::RunStatus::kCompleted)
+    throw Error(ErrorCode::kState,
+                std::string("simulate stopped early (") +
+                    runctl::to_string(stats.status) + ")");
+  return obs::Json::object()
+      .set("kind", "simulate")
+      .set("packets_offered", stats.packets_offered)
+      .set("packets_finished", stats.packets_finished)
+      .set("avg_latency", stats.avg_latency)
+      .set("p50_latency", stats.p50_latency)
+      .set("p95_latency", stats.p95_latency)
+      .set("p99_latency", stats.p99_latency)
+      .set("max_latency", stats.max_latency)
+      .set("throughput", stats.throughput_packets_per_node_cycle)
+      .set("avg_hops", stats.avg_hops)
+      .set("drained", stats.drained);
+}
+
+}  // namespace
+
+const char* to_string(RequestKind kind) noexcept {
+  switch (kind) {
+    case RequestKind::kSolve: return "solve";
+    case RequestKind::kEvaluate: return "evaluate";
+    case RequestKind::kSimulate: return "simulate";
+  }
+  return "unknown";
+}
+
+obs::Json Request::to_json() const {
+  obs::Json doc = obs::Json::object()
+                      .set("schema", kRequestSchema)
+                      .set("kind", svc::to_string(kind))
+                      .set("n", n);
+  if (height > 0 && height != n) doc.set("height", height);
+  doc.set("c", link_limit).set("b", base_flit_bits);
+  if (kind == RequestKind::kSolve) {
+    doc.set("method", method);
+    if (method == "dcsa" || method == "onlysa") doc.set("moves", moves);
+  } else {
+    doc.set("links", links)
+        .set("workload", workload)
+        .set("load", load);
+    if (kind == RequestKind::kSimulate)
+      doc.set("cycles", cycles).set("routing", routing).set("vcs", vcs);
+    else
+      doc.set("contention", contention_per_hop);
+  }
+  // The seed only matters where randomness does: annealing and the
+  // simulator's packet sampling. Evaluate is fully analytic.
+  if (kind != RequestKind::kEvaluate)
+    doc.set("seed", static_cast<long>(seed));
+  return doc;
+}
+
+std::string Request::id() const {
+  return obs::fnv1a64_hex(obs::canonical_json(to_json()));
+}
+
+void Request::validate() const {
+  if (n < 2 || n > 256) bad_request("n must be in [2, 256]");
+  if (height != 0 && height != n)
+    bad_request("rectangular requests are not served yet (height must be "
+                "0 or equal to n)");
+  if (link_limit < 1) bad_request("c must be at least 1");
+  if (base_flit_bits < 1 || base_flit_bits % link_limit != 0)
+    bad_request("c must divide the base flit width b");
+  if (kind == RequestKind::kSolve) {
+    if (method != "dcsa" && method != "onlysa" && method != "dnc" &&
+        method != "exact")
+      bad_request("method must be dcsa, onlysa, dnc or exact");
+    if (moves < 0) bad_request("moves must be non-negative");
+  } else {
+    if (!is_known_workload(workload))
+      bad_request("unknown workload '" + workload + "'");
+    if (load <= 0.0 || load > 1.0) bad_request("load must be in (0, 1]");
+    parse_links(links);  // syntax check; range errors surface at execute
+    if (kind == RequestKind::kSimulate) {
+      if (cycles < 1) bad_request("cycles must be positive");
+      if (routing != "xy" && routing != "yx" && routing != "o1turn")
+        bad_request("routing must be xy, yx or o1turn");
+      if (vcs < 1 || vcs > 16) bad_request("vcs must be in [1, 16]");
+    }
+    if (contention_per_hop < 0.0)
+      bad_request("contention must be non-negative");
+  }
+}
+
+Request Request::from_json(const obs::Json& doc) {
+  if (!doc.is_object()) bad_request("request must be a JSON object");
+  Request request;
+  bool saw_kind = false;
+  for (const auto& [key, value] : doc.members()) {
+    try {
+      if (key == "schema") {
+        if (!value.is_string() || value.as_string() != kRequestSchema)
+          bad_request("schema must be \"" + std::string(kRequestSchema) +
+                      "\"");
+      } else if (key == "kind") {
+        const std::string& kind = value.as_string();
+        saw_kind = true;
+        if (kind == "solve") request.kind = RequestKind::kSolve;
+        else if (kind == "evaluate") request.kind = RequestKind::kEvaluate;
+        else if (kind == "simulate") request.kind = RequestKind::kSimulate;
+        else bad_request("kind must be solve, evaluate or simulate");
+      } else if (key == "n") {
+        request.n = static_cast<int>(value.as_long());
+      } else if (key == "height") {
+        request.height = static_cast<int>(value.as_long());
+      } else if (key == "c") {
+        request.link_limit = static_cast<int>(value.as_long());
+      } else if (key == "b") {
+        request.base_flit_bits = static_cast<int>(value.as_long());
+      } else if (key == "method") {
+        request.method = value.as_string();
+      } else if (key == "moves") {
+        request.moves = value.as_long();
+      } else if (key == "links") {
+        request.links = value.as_string();
+      } else if (key == "workload") {
+        request.workload = value.as_string();
+      } else if (key == "load") {
+        request.load = value.as_number();
+      } else if (key == "cycles") {
+        request.cycles = value.as_long();
+      } else if (key == "routing") {
+        request.routing = value.as_string();
+      } else if (key == "vcs") {
+        request.vcs = static_cast<int>(value.as_long());
+      } else if (key == "contention") {
+        request.contention_per_hop = value.as_number();
+      } else if (key == "seed") {
+        request.seed = static_cast<std::uint64_t>(value.as_long());
+      } else {
+        bad_request("unknown request field '" + key + "'");
+      }
+    } catch (const PreconditionError&) {
+      bad_request("request field '" + key + "' has the wrong type");
+    }
+  }
+  if (!saw_kind) bad_request("request is missing 'kind'");
+  request.validate();
+  return request;
+}
+
+obs::Json execute_request(const Request& request,
+                          runctl::RunControl* control) {
+  request.validate();
+  switch (request.kind) {
+    case RequestKind::kSolve: return execute_solve(request, control);
+    case RequestKind::kEvaluate: return execute_evaluate(request);
+    case RequestKind::kSimulate: return execute_simulate(request, control);
+  }
+  throw Error(ErrorCode::kInternal, "unhandled request kind");
+}
+
+}  // namespace xlp::svc

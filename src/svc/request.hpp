@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace xlp::runctl {
+class RunControl;
+}
+
+namespace xlp::svc {
+
+/// Schema identifier stamped into every serialized request; bumping it
+/// invalidates every cache entry (the version string is hashed).
+inline constexpr const char* kRequestSchema = "xlp-request/1";
+
+/// What a request asks the service to do.
+///  * kSolve: anneal P̄(n, C) and return the placement + objective;
+///  * kEvaluate: analytic latency breakdown of a fixed design point;
+///  * kSimulate: flit-level simulation of a fixed design point.
+enum class RequestKind { kSolve, kEvaluate, kSimulate };
+
+[[nodiscard]] const char* to_string(RequestKind kind) noexcept;
+
+/// A pure, hashable unit of work — the canonical request model every
+/// scenario entry point reduces to (ROADMAP item 5). A request carries
+/// *only* inputs that define the answer: no output paths, thread counts,
+/// time limits or machine facts, so the same request hashes identically
+/// everywhere and its result can be cached by content.
+///
+/// Fields irrelevant to a request's kind are excluded from its canonical
+/// serialization (a solve at any `load` is the same solve), so near-
+/// duplicate design points collapse onto one cache entry.
+struct Request {
+  RequestKind kind = RequestKind::kSolve;
+
+  // --- network shape ---
+  int n = 8;            ///< routers per side (row length for kSolve)
+  int height = 0;       ///< 0 = square (height == n); schema-reserved
+  int link_limit = 4;   ///< C, the cross-section link limit
+  int base_flit_bits = 256;  ///< B, the baseline flit width
+
+  // --- kSolve ---
+  std::string method = "dcsa";  ///< dcsa | onlysa | dnc | exact
+  long moves = 10000;           ///< SA move budget (dcsa / onlysa)
+
+  // --- kEvaluate / kSimulate ---
+  /// Express-link placement as "lo-hi,lo-hi,..." ("" = plain row). The
+  /// homogeneous design replicates it over every row and column.
+  std::string links;
+  /// Scenario identity of the traffic: a synthetic pattern name
+  /// (uniform_random, transpose, ...) or a PARSEC model name (canneal,
+  /// ...). Deterministically expands to a rate matrix, so the name is the
+  /// traffic-matrix hash.
+  std::string workload = "uniform_random";
+  double load = 0.02;     ///< packets/node/cycle offered
+  long cycles = 10000;    ///< measurement window (kSimulate)
+  std::string routing = "xy";  ///< xy | yx | o1turn (kSimulate)
+  int vcs = 4;            ///< virtual channels per port (kSimulate)
+
+  // --- objective knobs ---
+  /// Per-hop contention allowance Tc of the analytic model (kEvaluate).
+  double contention_per_hop = 0.0;
+
+  std::uint64_t seed = 1;
+
+  /// Canonical JSON: {"schema", "kind", ...} restricted to the fields the
+  /// kind consumes, in a fixed member order. Feed through
+  /// obs::canonical_json for the hashable byte string.
+  [[nodiscard]] obs::Json to_json() const;
+
+  /// The content-addressed identity: obs::fnv1a64_hex over the canonical
+  /// serialization of to_json(). Thread-count and machine invariant; this
+  /// is the cache key and the reply correlation id.
+  [[nodiscard]] std::string id() const;
+
+  /// Parses a request object (any member order; unknown members are
+  /// rejected so typos never silently hash as defaults). Throws
+  /// xlp::Error(kParse) on malformed or out-of-range fields.
+  [[nodiscard]] static Request from_json(const obs::Json& doc);
+
+  /// Validates field ranges (also called by from_json); throws
+  /// xlp::Error(kParse) with a field-naming message.
+  void validate() const;
+};
+
+/// Executes one request to completion and returns its canonical result
+/// payload — a Json object with a fixed member order, byte-deterministic
+/// for a given request at any thread count (the determinism the cache
+/// relies on). `control` may stop long solves/simulations early; an early
+/// stop throws xlp::Error(kState) rather than returning a partial
+/// payload, so partial results are never cached.
+[[nodiscard]] obs::Json execute_request(const Request& request,
+                                        runctl::RunControl* control);
+
+}  // namespace xlp::svc

@@ -1,0 +1,435 @@
+#include "svc/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <system_error>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/ledger.hpp"
+#include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
+#include "util/error.hpp"
+#include "util/fsio.hpp"
+#include "util/parallel.hpp"
+#include "util/stopwatch.hpp"
+
+namespace xlp::svc {
+
+namespace fs = std::filesystem;
+
+std::string Reply::to_text() const {
+  std::string out;
+  out.reserve(payload_text.size() + 96);
+  out += "{\"schema\":\"";
+  out += kReplySchema;
+  out += "\",\"request_id\":\"";
+  out += obs::json_escape(request_id);
+  out += "\",\"cache_hit\":";
+  out += cache_hit ? "true" : "false";
+  if (ok) {
+    out += ",\"result\":";
+    out += payload_text;  // canonical payload bytes, spliced verbatim
+  } else {
+    out += ",\"error\":\"";
+    out += obs::json_escape(payload_text);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      metrics_(options_.metrics != nullptr ? options_.metrics
+                                           : &obs::MetricsRegistry::global()),
+      cache_(options_.cache_dir, options_.cache_entries, metrics_) {
+  const obs::Provenance prov = obs::Provenance::collect(0);
+  git_sha_ = prov.git_sha;
+  hostname_ = prov.hostname;
+}
+
+long Server::requests_served() const noexcept {
+  std::lock_guard<std::mutex> lock(served_mutex_);
+  return requests_served_;
+}
+
+Reply Server::resolve(const Request& request) {
+  Stopwatch watch;
+  metrics_->add("svc.requests");
+  const std::string id = request.id();
+
+  Reply reply;
+  reply.request_id = id;
+  if (auto cached = cache_.get(id)) {
+    reply.cache_hit = true;
+    reply.payload_text = std::move(*cached);
+  } else {
+    reply = execute_or_join(request, id);
+  }
+
+  append_ledger(request, reply, watch.seconds());
+  {
+    std::lock_guard<std::mutex> lock(served_mutex_);
+    ++requests_served_;
+  }
+  return reply;
+}
+
+Reply Server::execute_or_join(const Request& request, const std::string& id) {
+  Reply reply;
+  reply.request_id = id;
+
+  std::shared_ptr<Inflight> flight;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    auto it = inflight_.find(id);
+    if (it == inflight_.end()) {
+      flight = std::make_shared<Inflight>();
+      inflight_.emplace(id, flight);
+      owner = true;
+    } else {
+      flight = it->second;
+    }
+  }
+
+  if (!owner) {
+    // Another thread is computing this exact request: wait for its answer
+    // and fan it out. No second execution happens.
+    metrics_->add("svc.inflight.hits");
+    std::unique_lock<std::mutex> lock(flight->mutex);
+    flight->done_cv.wait(lock, [&flight] { return flight->done; });
+    reply.cache_hit = true;
+    reply.ok = flight->ok;
+    reply.payload_text = flight->payload_text;
+    return reply;
+  }
+
+  {
+    obs::ScopedTimer timer(*metrics_, "svc.execute");
+    runctl::Deadline deadline =
+        options_.request_time_limit > 0.0
+            ? runctl::Deadline::after_seconds(options_.request_time_limit)
+            : runctl::Deadline{};
+    runctl::RunControl control(options_.cancel, deadline);
+    try {
+      reply.payload_text = execute_request(request, &control).dump();
+      metrics_->add("svc.executed");
+      cache_.put(id, reply.payload_text);
+    } catch (const Error& error) {
+      reply.ok = false;
+      reply.payload_text = error.what();
+      metrics_->add("svc.errors");
+    } catch (const std::exception& error) {
+      reply.ok = false;
+      reply.payload_text = error.what();
+      metrics_->add("svc.errors");
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(flight->mutex);
+    flight->done = true;
+    flight->ok = reply.ok;
+    flight->payload_text = reply.payload_text;
+  }
+  flight->done_cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    inflight_.erase(id);
+  }
+  return reply;
+}
+
+std::vector<Reply> Server::serve_batch(const std::vector<Request>& requests) {
+  // Dedupe by content id *before* touching the pool: each unique request
+  // resolves exactly once, and which occurrence carries the executed reply
+  // is decided by submission order, not scheduling — so the reply document
+  // is byte-identical at any thread count.
+  std::vector<std::string> ids;
+  ids.reserve(requests.size());
+  std::unordered_map<std::string, std::size_t> first_of;
+  std::vector<std::size_t> unique_indices;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ids.push_back(requests[i].id());
+    if (first_of.emplace(ids.back(), unique_indices.size()).second)
+      unique_indices.push_back(i);
+  }
+
+  std::vector<Reply> unique_replies(unique_indices.size());
+  util::ThreadPool pool(options_.threads);
+  pool.parallel_for(static_cast<long>(unique_indices.size()), [&](long u) {
+    unique_replies[static_cast<std::size_t>(u)] =
+        resolve(requests[unique_indices[static_cast<std::size_t>(u)]]);
+  });
+
+  std::vector<Reply> replies;
+  replies.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const std::size_t u = first_of.at(ids[i]);
+    Reply reply = unique_replies[u];
+    if (unique_indices[u] != i) {
+      // A within-batch duplicate: served from the first occurrence's
+      // answer, which is by definition not a second execution. It still
+      // counts as a request of its own, ledger record included.
+      reply.cache_hit = true;
+      metrics_->add("svc.requests");
+      append_ledger(requests[i], reply, 0.0);
+      std::lock_guard<std::mutex> lock(served_mutex_);
+      ++requests_served_;
+    }
+    replies.push_back(std::move(reply));
+  }
+  return replies;
+}
+
+std::string Server::serve_text(const std::string& text) {
+  const auto doc = obs::Json::parse(text);
+  const auto error_reply = [](const std::string& message) {
+    Reply reply;
+    reply.ok = false;
+    reply.payload_text = message;
+    return reply;
+  };
+  if (!doc)
+    return error_reply("submission is not valid JSON").to_text();
+
+  if (doc->is_object()) {
+    try {
+      return serve_batch({Request::from_json(*doc)})[0].to_text();
+    } catch (const Error& error) {
+      return error_reply(error.what()).to_text();
+    }
+  }
+  if (!doc->is_array())
+    return error_reply("submission must be a request object or an array")
+        .to_text();
+
+  // Parse every element first (errors become in-place error replies), then
+  // serve the well-formed ones as one batch so duplicates still collapse.
+  std::vector<Request> good;
+  std::vector<std::optional<std::string>> parse_errors(doc->size());
+  for (std::size_t i = 0; i < doc->size(); ++i) {
+    try {
+      good.push_back(Request::from_json(doc->at(i)));
+    } catch (const Error& error) {
+      parse_errors[i] = error.what();
+    }
+  }
+  const std::vector<Reply> served = serve_batch(good);
+
+  std::string out = "[";
+  std::size_t next_served = 0;
+  for (std::size_t i = 0; i < parse_errors.size(); ++i) {
+    if (i > 0) out += ",";
+    out += parse_errors[i] ? error_reply(*parse_errors[i]).to_text()
+                           : served[next_served++].to_text();
+  }
+  out += "]";
+  return out;
+}
+
+long Server::run_queue(const std::string& queue_dir, bool once,
+                       double poll_seconds) {
+  const fs::path inbox = fs::path(queue_dir) / "inbox";
+  const fs::path outbox = fs::path(queue_dir) / "outbox";
+  std::error_code ec;
+  fs::create_directories(inbox, ec);
+  fs::create_directories(outbox, ec);
+
+  long served = 0;
+  const auto cancelled = [this] {
+    return options_.cancel != nullptr && options_.cancel->cancelled();
+  };
+  while (true) {
+    std::vector<std::string> names;
+    for (const auto& entry : fs::directory_iterator(inbox, ec)) {
+      if (entry.is_regular_file(ec) && entry.path().extension() == ".json")
+        names.push_back(entry.path().filename().string());
+    }
+    std::sort(names.begin(), names.end());
+
+    for (const std::string& name : names) {
+      if (cancelled()) return served;
+      const auto text = util::read_file((inbox / name).string());
+      if (!text) continue;  // raced with a concurrent consumer
+      // Reply before removing the submission: a crash in between replays
+      // the file on restart, and the cache makes the replay a no-op.
+      if (!util::atomic_write_file((outbox / name).string(),
+                                   serve_text(*text)))
+        continue;  // keep the submission; retry on the next pass
+      fs::remove(inbox / name, ec);
+      ++served;
+    }
+    if (once) return served;
+
+    // Sleep in short slices so SIGINT is honoured promptly.
+    double remaining = std::max(poll_seconds, 0.01);
+    while (remaining > 0.0) {
+      if (cancelled()) return served;
+      const double slice = std::min(remaining, 0.05);
+      std::this_thread::sleep_for(std::chrono::duration<double>(slice));
+      remaining -= slice;
+    }
+  }
+}
+
+namespace {
+
+bool read_exact(int fd, void* buffer, std::size_t bytes) {
+  auto* out = static_cast<char*>(buffer);
+  while (bytes > 0) {
+    const ssize_t got = ::read(fd, out, bytes);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) return false;
+    out += got;
+    bytes -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool write_exact(int fd, const void* buffer, std::size_t bytes) {
+  const auto* in = static_cast<const char*>(buffer);
+  while (bytes > 0) {
+    const ssize_t put = ::write(fd, in, bytes);
+    if (put < 0 && errno == EINTR) continue;
+    if (put <= 0) return false;
+    in += put;
+    bytes -= static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+/// One frame: 4-byte little-endian byte count, then that many bytes.
+bool read_frame(int fd, std::string& out) {
+  unsigned char header[4];
+  if (!read_exact(fd, header, 4)) return false;
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(header[0]) |
+      (static_cast<std::uint32_t>(header[1]) << 8) |
+      (static_cast<std::uint32_t>(header[2]) << 16) |
+      (static_cast<std::uint32_t>(header[3]) << 24);
+  if (length > (64u << 20)) return false;  // refuse absurd frames
+  out.resize(length);
+  return length == 0 || read_exact(fd, out.data(), length);
+}
+
+bool write_frame(int fd, const std::string& text) {
+  const auto length = static_cast<std::uint32_t>(text.size());
+  const unsigned char header[4] = {
+      static_cast<unsigned char>(length & 0xff),
+      static_cast<unsigned char>((length >> 8) & 0xff),
+      static_cast<unsigned char>((length >> 16) & 0xff),
+      static_cast<unsigned char>((length >> 24) & 0xff)};
+  return write_exact(fd, header, 4) &&
+         (text.empty() || write_exact(fd, text.data(), text.size()));
+}
+
+}  // namespace
+
+bool Server::run_socket(const std::string& socket_path) {
+  if (socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) return false;
+  ::unlink(socket_path.c_str());
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) return false;
+
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  std::strncpy(address.sun_path, socket_path.c_str(),
+               sizeof(address.sun_path) - 1);
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) != 0 ||
+      ::listen(listener, 64) != 0) {
+    ::close(listener);
+    return false;
+  }
+
+  // Dedicated connection workers (not the batch pool): each serves whole
+  // connections sequentially, so concurrent clients submitting the same
+  // request exercise the in-flight dedup path.
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::deque<int> pending;
+  bool accepting = true;
+
+  const int workers = util::resolve_thread_count(options_.threads);
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      while (true) {
+        int fd = -1;
+        {
+          std::unique_lock<std::mutex> lock(queue_mutex);
+          queue_cv.wait(lock,
+                        [&] { return !pending.empty() || !accepting; });
+          if (pending.empty()) return;  // drained and shut down
+          fd = pending.front();
+          pending.pop_front();
+        }
+        std::string text;
+        while (read_frame(fd, text)) {
+          if (!write_frame(fd, serve_text(text))) break;
+        }
+        ::close(fd);
+      }
+    });
+  }
+
+  const auto cancelled = [this] {
+    return options_.cancel != nullptr && options_.cancel->cancelled();
+  };
+  while (!cancelled()) {
+    pollfd waiter{listener, POLLIN, 0};
+    const int ready = ::poll(&waiter, 1, 100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const int client = ::accept(listener, nullptr, nullptr);
+    if (client < 0) continue;
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex);
+      pending.push_back(client);
+    }
+    queue_cv.notify_one();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex);
+    accepting = false;  // workers drain the queue, then exit
+  }
+  queue_cv.notify_all();
+  for (std::thread& worker : pool) worker.join();
+  ::close(listener);
+  ::unlink(socket_path.c_str());
+  return true;
+}
+
+void Server::append_ledger(const Request& request, const Reply& reply,
+                           double wall_seconds) {
+  if (options_.ledger_path.empty()) return;
+  obs::LedgerEntry entry;
+  entry.subcommand = "svc";
+  entry.params = request.to_json();
+  entry.seed = request.seed;
+  entry.git_sha = git_sha_;
+  entry.hostname = hostname_;
+  entry.wall_seconds = wall_seconds;
+  entry.exit_status = reply.ok ? 0 : 1;
+  entry.cache_hit = reply.cache_hit ? 1 : 0;
+  // append_ledger_entry rewrites the whole file; serialize appends so
+  // concurrent pool workers never drop each other's records.
+  std::lock_guard<std::mutex> lock(ledger_mutex_);
+  (void)obs::append_ledger_entry(options_.ledger_path, entry);
+}
+
+}  // namespace xlp::svc

@@ -1,0 +1,146 @@
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runctl/control.hpp"
+#include "svc/cache.hpp"
+#include "svc/request.hpp"
+
+namespace xlp::obs {
+class MetricsRegistry;
+}
+
+namespace xlp::svc {
+
+/// Schema identifier of serialized replies.
+inline constexpr const char* kReplySchema = "xlp-reply/1";
+
+/// The answer to one request. `payload_text` is the canonical result
+/// payload *bytes* (what the cache stores), spliced verbatim into the
+/// serialized reply — an executed result and its later cache hits are
+/// byte-identical by construction, never re-serialized.
+struct Reply {
+  std::string request_id;
+  bool ok = true;
+  /// True when the reply was served without executing: from the persisted
+  /// cache, from another request in flight, or as a duplicate within one
+  /// batch.
+  bool cache_hit = false;
+  std::string payload_text;  ///< result JSON, or the error message when !ok
+
+  /// {"schema":"xlp-reply/1","request_id":...,"cache_hit":...,
+  ///  "result":<payload>} — or "error":"..." instead of "result".
+  [[nodiscard]] std::string to_text() const;
+};
+
+struct ServerOptions {
+  std::string cache_dir = "xlp-cache";
+  std::size_t cache_entries = 4096;
+  /// Pool workers for batch serving; 0 = util::default_thread_count().
+  int threads = 0;
+  /// Per-request wall-clock budget in seconds (0 = unlimited). A request
+  /// stopped by its deadline yields an error reply and is never cached.
+  double request_time_limit = 0.0;
+  /// Process-level stop (SIGINT): checked between queue files and socket
+  /// frames, and merged into every per-request RunControl so in-flight
+  /// work also drains promptly.
+  runctl::CancelToken* cancel = nullptr;
+  /// Ledger path ("" disables). One `xlp-ledger/1` record is appended per
+  /// request served, with the request's canonical params as the scenario
+  /// identity and `cache_hit` recording how it was answered.
+  std::string ledger_path;
+  obs::MetricsRegistry* metrics = nullptr;  ///< nullptr = global()
+};
+
+/// The batch query server: resolves requests through a content-addressed
+/// result cache, deduplicates identical work (within a batch, across
+/// concurrent clients, and across restarts via the persisted cache), and
+/// shards execution over a util::ThreadPool.
+///
+/// Determinism contract: for a given request id the served payload bytes
+/// are identical at any thread count, whether executed, deduplicated or
+/// replayed from the cache (tests/svc_test.cpp pins this).
+///
+/// Metrics: svc.requests / svc.executed / svc.errors / svc.inflight.hits
+/// counters, the svc.execute timer, plus the cache's svc.cache.* family.
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+
+  /// Answers one request: cache hit, wait on an identical in-flight
+  /// request (single execute, fan-out reply), or execute + cache. Safe to
+  /// call from many threads. Never throws: failures become error replies.
+  [[nodiscard]] Reply resolve(const Request& request);
+
+  /// Answers a batch, replies in request order. Duplicate requests within
+  /// the batch execute once; the first occurrence carries the executed /
+  /// cache-hit flag, every later duplicate is marked cache_hit. Unique
+  /// requests run concurrently on the pool.
+  [[nodiscard]] std::vector<Reply> serve_batch(
+      const std::vector<Request>& requests);
+
+  /// Parses one submission document — a request object or an array of
+  /// request objects — and serves it. Malformed documents / elements
+  /// produce error replies (request_id "" when the id is unknowable), so
+  /// a bad client cannot wedge the queue. Returns the serialized reply
+  /// document: an object for an object, an array for an array.
+  [[nodiscard]] std::string serve_text(const std::string& text);
+
+  /// File-queue transport: serves every `<dir>/inbox/*.json` submission
+  /// (lexicographic order), writing `<dir>/outbox/<same-name>` atomically
+  /// before removing the inbox file — a crash between the two replays the
+  /// file on restart, and the cache makes the replay cheap. With `once`
+  /// the current inbox snapshot is drained and the call returns;
+  /// otherwise it polls every `poll_seconds` until the cancel token fires
+  /// (the file being served is always finished first). Returns the number
+  /// of submission files served.
+  long run_queue(const std::string& queue_dir, bool once,
+                 double poll_seconds);
+
+  /// Local-socket transport: a SOCK_STREAM AF_UNIX listener at
+  /// `socket_path` speaking length-prefixed JSON — each frame is a 4-byte
+  /// little-endian byte count followed by one submission document; the
+  /// reply comes back in the same framing, one round trip per connection.
+  /// Connections are handled by `threads` dedicated client workers, so
+  /// concurrent identical requests hit the in-flight dedup path. Returns
+  /// when the cancel token fires (accepted connections drain first);
+  /// false when the socket could not be created.
+  bool run_socket(const std::string& socket_path);
+
+  [[nodiscard]] ResultCache& cache() noexcept { return cache_; }
+  [[nodiscard]] long requests_served() const noexcept;
+
+ private:
+  struct Inflight {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    bool done = false;
+    bool ok = false;
+    std::string payload_text;
+  };
+
+  /// Executes (or waits out) a request that missed the cache.
+  Reply execute_or_join(const Request& request, const std::string& id);
+  void append_ledger(const Request& request, const Reply& reply,
+                     double wall_seconds);
+
+  ServerOptions options_;
+  obs::MetricsRegistry* metrics_;
+  ResultCache cache_;
+  std::string git_sha_;
+  std::string hostname_;
+
+  std::mutex inflight_mutex_;
+  std::map<std::string, std::shared_ptr<Inflight>> inflight_;
+
+  std::mutex ledger_mutex_;
+  mutable std::mutex served_mutex_;
+  long requests_served_ = 0;
+};
+
+}  // namespace xlp::svc

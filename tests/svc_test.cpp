@@ -1,0 +1,412 @@
+// Tests of the placement service: canonical JSON / content hashing shared
+// with the run ledger, the request model's kind-restricted identity, the
+// persisted LRU result cache, and the batch server's dedup + determinism
+// contract (identical requests -> byte-identical replies at any thread
+// count, exactly one execution).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "latency/model.hpp"
+#include "obs/canonical.hpp"
+#include "obs/ledger.hpp"
+#include "obs/metrics.hpp"
+#include "svc/cache.hpp"
+#include "svc/client.hpp"
+#include "svc/request.hpp"
+#include "svc/server.hpp"
+#include "topo/builders.hpp"
+#include "traffic/matrix.hpp"
+#include "traffic/patterns.hpp"
+#include "util/error.hpp"
+#include "util/fsio.hpp"
+#include "util/stopwatch.hpp"
+
+namespace xlp::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "xlp_svc_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------- canonical
+
+TEST(CanonicalJson, SortsObjectKeysRecursively) {
+  const obs::Json a = obs::Json::object()
+                          .set("b", 1)
+                          .set("a", obs::Json::object()
+                                        .set("z", true)
+                                        .set("y", "text"));
+  const obs::Json b = obs::Json::object()
+                          .set("a", obs::Json::object()
+                                        .set("y", "text")
+                                        .set("z", true))
+                          .set("b", 1);
+  EXPECT_EQ(obs::canonical_json(a), obs::canonical_json(b));
+  EXPECT_EQ(obs::canonical_json(a),
+            "{\"a\":{\"y\":\"text\",\"z\":true},\"b\":1}");
+}
+
+TEST(CanonicalJson, PreservesArrayOrder) {
+  obs::Json doc = obs::Json::object();
+  obs::Json arr = obs::Json::array();
+  arr.push(3).push(1).push(2);
+  doc.set("xs", std::move(arr));
+  EXPECT_EQ(obs::canonical_json(doc), "{\"xs\":[3,1,2]}");
+}
+
+TEST(CanonicalJson, NumberFormattingIsStable) {
+  // Integral doubles print without a fraction; non-integral doubles print
+  // with round-trip precision — the properties the content hash rests on.
+  const obs::Json doc = obs::Json::object()
+                            .set("i", 4)
+                            .set("d", 0.02)
+                            .set("whole", 2.0);
+  const std::string text = obs::canonical_json(doc);
+  EXPECT_EQ(text, "{\"d\":0.02,\"i\":4,\"whole\":2}");
+  // And it is a fixed point: parse + canonicalize again changes nothing.
+  const auto reparsed = obs::Json::parse(text);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(obs::canonical_json(*reparsed), text);
+}
+
+TEST(Fnv1a64Hex, MatchesKnownVectors) {
+  // FNV-1a 64: the empty string hashes to the offset basis.
+  EXPECT_EQ(obs::fnv1a64_hex(""), "cbf29ce484222325");
+  EXPECT_EQ(obs::fnv1a64_hex("a").size(), 16u);
+  EXPECT_NE(obs::fnv1a64_hex("a"), obs::fnv1a64_hex("b"));
+}
+
+TEST(CanonicalJson, LedgerRunIdUsesCanonicalForm) {
+  // Member insertion order must not change a ledger run id.
+  const obs::Json p1 = obs::Json::object().set("n", 8).set("c", 4);
+  const obs::Json p2 = obs::Json::object().set("c", 4).set("n", 8);
+  EXPECT_EQ(obs::ledger_run_id("solve", p1, 7, "sha"),
+            obs::ledger_run_id("solve", p2, 7, "sha"));
+}
+
+// ------------------------------------------------------------------ request
+
+TEST(Request, IdIgnoresClientMemberOrder) {
+  const auto a = obs::Json::parse(
+      R"({"kind":"solve","n":8,"c":4,"method":"dcsa","moves":500,"seed":3})");
+  const auto b = obs::Json::parse(
+      R"({"seed":3,"moves":500,"method":"dcsa","c":4,"n":8,"kind":"solve"})");
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(Request::from_json(*a).id(), Request::from_json(*b).id());
+}
+
+TEST(Request, IdRestrictedToFieldsTheKindConsumes) {
+  Request solve;
+  solve.kind = RequestKind::kSolve;
+  Request solve2 = solve;
+  solve2.load = 0.9;          // evaluate/simulate field: no effect on solve
+  solve2.routing = "o1turn";  // simulate field: no effect either
+  EXPECT_EQ(solve.id(), solve2.id());
+
+  Request eval;
+  eval.kind = RequestKind::kEvaluate;
+  Request eval2 = eval;
+  eval2.seed = 999;  // evaluate is analytic: the seed is not identity
+  EXPECT_EQ(eval.id(), eval2.id());
+  eval2.load = 0.5;  // but the load is
+  EXPECT_NE(eval.id(), eval2.id());
+}
+
+TEST(Request, FromJsonRejectsUnknownAndMalformedFields) {
+  const auto unknown = obs::Json::parse(R"({"kind":"solve","movse":5})");
+  ASSERT_TRUE(unknown.has_value());
+  EXPECT_THROW((void)Request::from_json(*unknown), Error);
+  const auto missing_kind = obs::Json::parse(R"({"n":8})");
+  ASSERT_TRUE(missing_kind.has_value());
+  EXPECT_THROW((void)Request::from_json(*missing_kind), Error);
+  const auto wrong_type = obs::Json::parse(R"({"kind":"solve","n":"big"})");
+  ASSERT_TRUE(wrong_type.has_value());
+  EXPECT_THROW((void)Request::from_json(*wrong_type), Error);
+}
+
+TEST(Request, ValidateEnforcesRanges) {
+  Request request;
+  request.link_limit = 3;  // does not divide 256
+  EXPECT_THROW(request.validate(), Error);
+  request.link_limit = 4;
+  request.method = "bogus";
+  EXPECT_THROW(request.validate(), Error);
+  request.method = "dcsa";
+  EXPECT_NO_THROW(request.validate());
+  request.kind = RequestKind::kEvaluate;
+  request.workload = "not_a_workload";
+  EXPECT_THROW(request.validate(), Error);
+}
+
+TEST(Request, EvaluateMatchesLatencyModel) {
+  Request request;
+  request.kind = RequestKind::kEvaluate;
+  request.n = 8;
+  request.link_limit = 4;
+  request.links = "1-3,3-7";
+  request.workload = "uniform_random";
+  request.load = 0.02;
+  const obs::Json payload = execute_request(request, nullptr);
+
+  const topo::RowTopology row(8, {{1, 3}, {3, 7}});
+  const latency::MeshLatencyModel model(topo::make_design(row, 4),
+                                        latency::LatencyParams::zero_load());
+  const auto demand = traffic::TrafficMatrix::from_pattern(
+      traffic::Pattern::kUniformRandom, 8, 0.02);
+  const auto expected = model.weighted_average(demand.rates());
+  ASSERT_NE(payload.find("total"), nullptr);
+  EXPECT_DOUBLE_EQ(payload.find("total")->as_number(), expected.total());
+}
+
+// -------------------------------------------------------------------- cache
+
+TEST(ResultCache, RoundTripsAndCountsHitsMisses) {
+  obs::MetricsRegistry metrics;
+  ResultCache cache(fresh_dir("rt"), 8, &metrics);
+  const std::string id = "00000000000000aa";
+  EXPECT_FALSE(cache.get(id).has_value());
+  EXPECT_TRUE(cache.put(id, "{\"v\":1}"));
+  const auto hit = cache.get(id);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "{\"v\":1}");
+  EXPECT_EQ(metrics.counter("svc.cache.hits"), 1);
+  EXPECT_EQ(metrics.counter("svc.cache.misses"), 1);
+}
+
+TEST(ResultCache, PersistsAcrossReconstruction) {
+  const std::string dir = fresh_dir("persist");
+  {
+    ResultCache cache(dir, 8, nullptr);
+    EXPECT_TRUE(cache.put("00000000000000ab", "{\"v\":2}"));
+  }
+  ResultCache revived(dir, 8, nullptr);
+  EXPECT_EQ(revived.size(), 1u);
+  const auto hit = revived.get("00000000000000ab");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "{\"v\":2}");
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedFromMemoryAndDisk) {
+  const std::string dir = fresh_dir("lru");
+  obs::MetricsRegistry metrics;
+  ResultCache cache(dir, 2, &metrics);
+  cache.put("00000000000000a1", "1");
+  cache.put("00000000000000a2", "2");
+  // Touch a1 so a2 becomes the LRU victim when a3 arrives.
+  EXPECT_TRUE(cache.get("00000000000000a1").has_value());
+  cache.put("00000000000000a3", "3");
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.contains("00000000000000a2"));
+  EXPECT_TRUE(cache.contains("00000000000000a1"));
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "00000000000000a2.json"));
+  EXPECT_EQ(metrics.counter("svc.cache.evictions"), 1);
+}
+
+TEST(ResultCache, IgnoresForeignFilesOnRescan) {
+  const std::string dir = fresh_dir("foreign");
+  fs::create_directories(dir);
+  ASSERT_TRUE(util::atomic_write_file(dir + "/notes.txt", "hi"));
+  ASSERT_TRUE(util::atomic_write_file(dir + "/metrics.json", "{}"));
+  ASSERT_TRUE(util::atomic_write_file(dir + "/00000000000000ac.json",
+                                      "{\"v\":3}"));
+  ResultCache cache(dir, 8, nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.contains("00000000000000ac"));
+}
+
+// ------------------------------------------------------------------- server
+
+ServerOptions test_options(const std::string& dir,
+                           obs::MetricsRegistry* metrics, int threads = 0) {
+  ServerOptions options;
+  options.cache_dir = dir;
+  options.metrics = metrics;
+  options.threads = threads;
+  return options;
+}
+
+std::vector<Request> duplicate_solves(int copies) {
+  Request request;
+  request.kind = RequestKind::kSolve;
+  request.n = 8;
+  request.link_limit = 4;
+  request.moves = 400;
+  request.seed = 3;
+  return std::vector<Request>(static_cast<std::size_t>(copies), request);
+}
+
+TEST(Server, BatchDuplicatesExecuteOnceAndShareBytes) {
+  obs::MetricsRegistry metrics;
+  Server server(test_options(fresh_dir("dedupe"), &metrics, 4));
+  const auto replies = server.serve_batch(duplicate_solves(4));
+  ASSERT_EQ(replies.size(), 4u);
+  EXPECT_EQ(metrics.counter("svc.executed"), 1);
+  EXPECT_FALSE(replies[0].cache_hit);
+  for (std::size_t i = 1; i < replies.size(); ++i) {
+    EXPECT_TRUE(replies[i].cache_hit);
+    EXPECT_EQ(replies[i].payload_text, replies[0].payload_text);
+  }
+  EXPECT_EQ(server.requests_served(), 4);
+}
+
+TEST(Server, RepliesAreByteIdenticalAtAnyThreadCount) {
+  // Fresh cache per thread count: both runs execute for real, and the
+  // serialized reply documents must still match byte for byte.
+  obs::MetricsRegistry m1, m4;
+  Server one(test_options(fresh_dir("t1"), &m1, 1));
+  Server four(test_options(fresh_dir("t4"), &m4, 4));
+  const auto batch = sweep_batch(8, "dcsa", 400, 7);
+  const auto r1 = one.serve_batch(batch);
+  const auto r4 = four.serve_batch(batch);
+  ASSERT_EQ(r1.size(), r4.size());
+  for (std::size_t i = 0; i < r1.size(); ++i)
+    EXPECT_EQ(r1[i].to_text(), r4[i].to_text()) << "reply " << i;
+}
+
+TEST(Server, CachedReplyIsByteIdenticalToExecutedReply) {
+  obs::MetricsRegistry metrics;
+  const std::string dir = fresh_dir("replay");
+  std::string executed;
+  {
+    Server server(test_options(dir, &metrics));
+    executed = server.serve_batch(duplicate_solves(1))[0].payload_text;
+  }
+  Server revived(test_options(dir, &metrics));
+  const auto replies = revived.serve_batch(duplicate_solves(1));
+  EXPECT_TRUE(replies[0].cache_hit);
+  EXPECT_EQ(replies[0].payload_text, executed);
+  EXPECT_EQ(metrics.counter("svc.executed"), 1);  // never re-executed
+}
+
+TEST(Server, ConcurrentIdenticalResolvesExecuteOnce) {
+  obs::MetricsRegistry metrics;
+  Server server(test_options(fresh_dir("inflight"), &metrics));
+  const Request request = duplicate_solves(1)[0];
+  std::vector<std::string> payloads(8);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(payloads.size());
+    for (std::size_t i = 0; i < payloads.size(); ++i)
+      clients.emplace_back([&server, &request, &payloads, i] {
+        payloads[i] = server.resolve(request).payload_text;
+      });
+    for (auto& t : clients) t.join();
+  }
+  EXPECT_EQ(metrics.counter("svc.executed"), 1);
+  for (const auto& payload : payloads) EXPECT_EQ(payload, payloads[0]);
+}
+
+TEST(Server, ResubmittedSweepIsAtLeastTwiceAsFast) {
+  // The acceptance scenario: an 8x8 C-sweep submitted twice. The second
+  // pass is pure cache hits (microseconds vs real anneals), so the 2x bound
+  // has orders of magnitude of margin.
+  obs::MetricsRegistry metrics;
+  Server server(test_options(fresh_dir("speedup"), &metrics));
+  const auto batch = sweep_batch(8, "dcsa", 2000, 1);
+  Stopwatch cold_timer;
+  (void)server.serve_batch(batch);
+  const double cold = cold_timer.seconds();
+  Stopwatch warm_timer;
+  const auto warm_replies = server.serve_batch(batch);
+  const double warm = warm_timer.seconds();
+  EXPECT_EQ(metrics.counter("svc.executed"),
+            static_cast<long>(batch.size()));
+  for (const auto& reply : warm_replies) EXPECT_TRUE(reply.cache_hit);
+  EXPECT_GE(cold, 2.0 * warm) << "cold=" << cold << "s warm=" << warm << "s";
+}
+
+TEST(Server, FailedRequestsAreNotCached) {
+  obs::MetricsRegistry metrics;
+  const std::string dir = fresh_dir("errors");
+  Server server(test_options(dir, &metrics));
+  Request bad;
+  bad.kind = RequestKind::kEvaluate;
+  bad.links = "1-99";  // parses, but 99 is out of range for n=8 at execute
+  const Reply reply = server.resolve(bad);
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(metrics.counter("svc.errors"), 1);
+  EXPECT_EQ(server.cache().size(), 0u);
+  // The serialized reply carries the error, not a result.
+  EXPECT_NE(reply.to_text().find("\"error\":"), std::string::npos);
+}
+
+TEST(Server, ServeTextHandlesObjectsArraysAndGarbage) {
+  obs::MetricsRegistry metrics;
+  Server server(test_options(fresh_dir("text"), &metrics));
+  EXPECT_NE(server.serve_text("not json").find("\"error\":"),
+            std::string::npos);
+  const std::string object_reply = server.serve_text(
+      R"({"kind":"evaluate","n":4,"c":2,"workload":"transpose","load":0.01})");
+  EXPECT_EQ(object_reply.front(), '{');
+  EXPECT_NE(object_reply.find("\"result\":"), std::string::npos);
+  // One bad element does not poison the batch: errors are replied in place.
+  const std::string array_reply = server.serve_text(
+      R"([{"kind":"evaluate","n":4,"c":2,"workload":"transpose","load":0.01},)"
+      R"({"kind":"bogus"}])");
+  EXPECT_EQ(array_reply.front(), '[');
+  EXPECT_NE(array_reply.find("\"result\":"), std::string::npos);
+  EXPECT_NE(array_reply.find("\"error\":"), std::string::npos);
+}
+
+TEST(Server, AppendsOneLedgerRecordPerRequestWithCacheHit) {
+  const std::string dir = fresh_dir("ledger");
+  obs::MetricsRegistry metrics;
+  ServerOptions options = test_options(dir + "/cache", &metrics);
+  options.ledger_path = dir + "/ledger.jsonl";
+  Server server(options);
+  (void)server.serve_batch(duplicate_solves(2));
+  const auto records = obs::read_ledger(options.ledger_path);
+  ASSERT_EQ(records.size(), 2u);
+  int hits = 0;
+  for (const auto& record : records) {
+    const obs::Json* hit = record.find("cache_hit");
+    ASSERT_NE(hit, nullptr);
+    hits += hit->as_bool() ? 1 : 0;
+    ASSERT_NE(record.find("subcommand"), nullptr);
+    EXPECT_EQ(record.find("subcommand")->as_string(), "svc");
+  }
+  EXPECT_EQ(hits, 1);  // exactly the duplicate occurrence
+}
+
+// ------------------------------------------------------------------- client
+
+TEST(Client, SweepBatchCoversFeasibleLimitsOnly) {
+  const auto batch = sweep_batch(8, "dcsa", 500, 1);
+  ASSERT_FALSE(batch.empty());
+  for (const auto& request : batch) {
+    EXPECT_EQ(request.kind, RequestKind::kSolve);
+    EXPECT_EQ(256 % request.link_limit, 0);
+    EXPECT_NO_THROW(request.validate());
+  }
+}
+
+TEST(Client, QueueRoundTripThroughServer) {
+  const std::string root = fresh_dir("queue");
+  const std::string queue_dir = root + "/q";
+  obs::MetricsRegistry metrics;
+  ServerOptions options = test_options(root + "/cache", &metrics);
+  Server server(options);
+
+  const auto batch = sweep_batch(4, "dcsa", 200, 1);
+  ASSERT_TRUE(queue_submit(queue_dir, "job1", batch_to_text(batch)));
+  EXPECT_EQ(server.run_queue(queue_dir, /*once=*/true, 0.01), 1);
+  const auto reply = queue_wait(queue_dir, "job1", 5.0);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_NE(reply->find("\"result\":"), std::string::npos);
+  EXPECT_EQ(reply->find("\"error\":"), std::string::npos);
+  // The submission was consumed and the reply removed by queue_wait.
+  EXPECT_FALSE(fs::exists(fs::path(queue_dir) / "inbox" / "job1.json"));
+  EXPECT_FALSE(fs::exists(fs::path(queue_dir) / "outbox" / "job1.json"));
+}
+
+}  // namespace
+}  // namespace xlp::svc

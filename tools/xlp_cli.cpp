@@ -25,6 +25,11 @@
 //   xlp report    <run-dir> [--out report.html]
 //                 (renders a dependency-free single-file HTML dashboard
 //                 from the telemetry files found in <run-dir>)
+//   xlp submit    (--file batch.json | --sweep-n 8 [--method dcsa]
+//                 [--moves 10000] [--base-flit 256] [--seed 1])
+//                 (--queue <dir> [--wait 60] [--name <id>] | --socket <path>)
+//                 (submits a request batch to a running `xlpd` — see
+//                 docs/service.md — and prints the reply document)
 //
 // Telemetry (see docs/observability.md):
 //   --trace <file.jsonl>   structured JSONL trace (SA cooling steps on
@@ -102,8 +107,10 @@
 #include "power/model.hpp"
 #include "runctl/checkpoint.hpp"
 #include "runctl/control.hpp"
+#include "obs/canonical.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats_json.hpp"
+#include "svc/client.hpp"
 #include "topo/builders.hpp"
 #include "topo/render.hpp"
 #include "traffic/patterns.hpp"
@@ -125,7 +132,7 @@ constexpr int kExitInterrupted = 130;
 int usage() {
   std::fprintf(stderr,
                "usage: xlp <solve|sweep|simulate|trace|replay|appspec|run|"
-               "faults|bench|report> "
+               "faults|bench|report|submit> "
                "[options]\n(see the header of tools/xlp_cli.cpp for the "
                "full option list)\n");
   return kExitUsage;
@@ -858,6 +865,70 @@ int cmd_report(const Args& args) {
   return 0;
 }
 
+/// Client side of the service (docs/service.md): builds or loads a
+/// submission document and sends it to a running `xlpd` over the file
+/// queue or the local socket, then prints the reply document. The
+/// canonical driver-as-client flow is `--sweep-n`, which submits the same
+/// per-limit solves `xlp sweep` would run in-process — resubmitting the
+/// sweep is answered from the server's cache without re-annealing.
+int cmd_submit(const Args& args) {
+  std::string text;
+  long request_count = 0;
+  if (const std::string file = args.get_or("file", ""); !file.empty()) {
+    const auto loaded = util::read_file(file);
+    XLP_REQUIRE(loaded.has_value(), "cannot read " + file);
+    text = *loaded;
+    const auto doc = obs::Json::parse(text);
+    XLP_REQUIRE(doc.has_value(), "not valid JSON: " + file);
+    request_count =
+        doc->is_array() ? static_cast<long>(doc->size()) : 1;
+  } else {
+    const int n = static_cast<int>(args.get_long("sweep-n", 0));
+    XLP_REQUIRE(n > 0, "either --file <batch.json> or --sweep-n <n>");
+    const auto batch = svc::sweep_batch(
+        n, args.get_or("method", "dcsa"), args.get_long("moves", 10000),
+        static_cast<std::uint64_t>(args.get_long("seed", 1)),
+        static_cast<int>(args.get_long("base-flit", topo::kBaseFlitBits)));
+    text = svc::batch_to_text(batch);
+    request_count = static_cast<long>(batch.size());
+  }
+
+  const std::string queue_dir = args.get_or("queue", "");
+  const std::string socket_path = args.get_or("socket", "");
+  XLP_REQUIRE(queue_dir.empty() != socket_path.empty(),
+              "exactly one of --queue <dir> or --socket <path>");
+  g_ledger.describe("submit",
+                    obs::Json::object()
+                        .set("transport", queue_dir.empty() ? "socket"
+                                                            : "queue")
+                        .set("requests", request_count),
+                    static_cast<std::uint64_t>(args.get_long("seed", 1)));
+
+  std::string reply;
+  if (!socket_path.empty()) {
+    auto answered = svc::socket_submit(socket_path, text);
+    if (!answered)
+      throw Error(ErrorCode::kIo, "no xlpd reachable at " + socket_path);
+    reply = std::move(*answered);
+  } else {
+    // Name the submission by its content hash so resubmitting the same
+    // batch never piles up distinct queue files.
+    const std::string name =
+        args.get_or("name", obs::fnv1a64_hex(text));
+    if (!svc::queue_submit(queue_dir, name, text))
+      throw Error(ErrorCode::kIo, "cannot submit into " + queue_dir);
+    auto answered =
+        svc::queue_wait(queue_dir, name, args.get_double("wait", 60.0));
+    if (!answered)
+      throw Error(ErrorCode::kIo,
+                  "timed out waiting for a reply in " + queue_dir +
+                      "/outbox (is xlpd --queue running?)");
+    reply = std::move(*answered);
+  }
+  std::printf("%s\n", reply.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -892,6 +963,7 @@ int main(int argc, char** argv) {
     else if (command == "faults") rc = cmd_faults(args);
     else if (command == "bench") rc = cmd_bench(args);
     else if (command == "report") rc = cmd_report(args);
+    else if (command == "submit") rc = cmd_submit(args);
     else return usage();
 
     // Global telemetry flag: dump the process-wide metrics registry
