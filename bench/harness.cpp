@@ -69,6 +69,7 @@ BenchResult Runner::run_one(const BenchSpec& spec) const {
   std::vector<double> per_op_ns;
   per_op_ns.reserve(static_cast<std::size_t>(options_.repeats));
   std::vector<std::vector<std::pair<std::string, double>>> rate_samples;
+  std::vector<std::vector<std::pair<std::string, double>>> time_samples;
   for (int i = 0; i < options_.repeats; ++i) {
     BenchRun run;
     const auto start = Clock::now();
@@ -86,6 +87,7 @@ BenchResult Runner::run_one(const BenchSpec& spec) const {
       rates.emplace_back(name + "_per_sec",
                          seconds > 0.0 ? amount / seconds : 0.0);
     rate_samples.push_back(std::move(rates));
+    time_samples.push_back(run.times_);
     result.counters = run.counters_;
     if (run.has_payload()) result.payload = std::move(run.payload_);
   }
@@ -104,6 +106,16 @@ BenchResult Runner::run_one(const BenchSpec& spec) const {
       for (const auto& repeat : rate_samples)
         if (r < repeat.size()) samples.push_back(repeat[r].second);
       result.rates.emplace_back(names[r].first, median_of(std::move(samples)));
+    }
+  }
+  // Same treatment for body-measured latencies: fixed names, median value.
+  if (!time_samples.empty()) {
+    const auto& names = time_samples.front();
+    for (std::size_t t = 0; t < names.size(); ++t) {
+      std::vector<double> samples;
+      for (const auto& repeat : time_samples)
+        if (t < repeat.size()) samples.push_back(repeat[t].second);
+      result.times.emplace_back(names[t].first, median_of(std::move(samples)));
     }
   }
   return result;
@@ -174,6 +186,8 @@ obs::Json Runner::suite_to_json(const SuiteReport& report) const {
     obs::Json metrics = obs::Json::object();
     for (const auto& [name, value] : r.rates)
       metrics.set(name, det ? 0.0 : value);
+    for (const auto& [name, value] : r.times)
+      metrics.set(name, det ? 0.0 : value);
     for (const auto& [name, value] : r.counters) metrics.set(name, value);
     b.set("metrics", std::move(metrics));
     if (!r.payload.is_null()) b.set("payload", r.payload);
@@ -192,6 +206,8 @@ void Runner::print(const std::vector<SuiteReport>& reports) {
       std::printf("%-40s %14.1f %14.1f %14.1f\n", label.c_str(), r.min_ns,
                   r.median_ns, r.mean_ns);
       for (const auto& [name, value] : r.rates)
+        std::printf("%-40s   %s = %.3g\n", "", name.c_str(), value);
+      for (const auto& [name, value] : r.times)
         std::printf("%-40s   %s = %.3g\n", "", name.c_str(), value);
       for (const auto& [name, value] : r.counters)
         std::printf("%-40s   %s = %.6g\n", "", name.c_str(), value);

@@ -18,6 +18,11 @@ namespace xlp::bench {
 ///     "<name>_per_sec" = amount / wall (e.g. simulated cycles, packets)
 ///   - set_counter(name, v): deterministic fact (evaluations, packets
 ///     finished) recorded verbatim — these must not depend on wall time
+///   - set_time_ns(name, ns): a wall-derived latency the body measured
+///     itself (tail quantiles, sub-phase timings). Reported as the median
+///     across repeats and zeroed under --deterministic, like rates. By
+///     convention tail latencies are named "<stage>_p99_ns" so bench_diff
+///     treats them as lower-is-better.
 ///   - set_payload(json): arbitrary structured series attached to the
 ///     result (the figure benches park their plot points here)
 class BenchRun {
@@ -29,6 +34,9 @@ class BenchRun {
   void set_counter(std::string name, double value) {
     counters_.emplace_back(std::move(name), value);
   }
+  void set_time_ns(std::string name, double ns) {
+    times_.emplace_back(std::move(name), ns);
+  }
   void set_payload(obs::Json payload) { payload_ = std::move(payload); }
 
  private:
@@ -36,6 +44,7 @@ class BenchRun {
   long items_ = 1;
   std::vector<std::pair<std::string, double>> rates_;
   std::vector<std::pair<std::string, double>> counters_;
+  std::vector<std::pair<std::string, double>> times_;
   obs::Json payload_;
   bool has_payload() const { return !payload_.is_null(); }
 };
@@ -102,6 +111,7 @@ struct BenchResult {
   double total_seconds = 0.0;  // wall time across all repeats
   std::vector<std::pair<std::string, double>> rates;  // median amount/sec
   std::vector<std::pair<std::string, double>> counters;  // last repeat
+  std::vector<std::pair<std::string, double>> times;  // median ns
   obs::Json payload;  // null unless the body attached one
 };
 

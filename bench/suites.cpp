@@ -22,6 +22,7 @@
 #include "exp/scenarios.hpp"
 #include "harness.hpp"
 #include "latency/model.hpp"
+#include "obs/histogram.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "route/directional_paths.hpp"
@@ -278,6 +279,78 @@ void register_svc() {
                                        .set("warm_seconds", warm)
                                        .set("speedup",
                                             warm > 0.0 ? cold / warm : 0.0));
+                 });
+  // Observability overhead, measured as a pair inside one body: two
+  // servers over the same warm cache contents — one with histograms /
+  // per-kind counters on, one with --no-observe — alternating per request
+  // document so clock-frequency drift and disk-cache state cancel out.
+  // The hot path is serve_text one document at a time: the exact per-frame
+  // work of the socket and queue transports (parse, resolve, serialize)
+  // on a warm cache, where the relative cost of observe_request() is at
+  // its worst. observed_p99_ns / unobserved_p99_ns land in bench_diff's
+  // regression gate as lower-is-better tails; the p50 gap is the
+  // per-request recording overhead docs/observability.md quotes (<1%).
+  register_bench("svc", "observe_overhead_pair", "smoke",
+                 [fresh_server](BenchRun& run) {
+                   const auto batch = svc::sweep_batch(8, "dcsa", 300, 1);
+                   std::vector<std::string> documents;
+                   for (const svc::Request& request : batch)
+                     documents.push_back(request.to_json().dump());
+                   obs::MetricsRegistry metrics_on, metrics_off;
+                   svc::ServerOptions on_options = fresh_server(
+                       (fs::temp_directory_path() / "xlp_bench_svc_on")
+                           .string(),
+                       metrics_on);
+                   svc::ServerOptions off_options = fresh_server(
+                       (fs::temp_directory_path() / "xlp_bench_svc_off")
+                           .string(),
+                       metrics_off);
+                   off_options.observe = false;
+                   svc::Server observed(on_options);
+                   svc::Server unobserved(off_options);
+                   g_sink = static_cast<double>(
+                       observed.serve_batch(batch).size());  // prime
+                   g_sink = static_cast<double>(
+                       unobserved.serve_batch(batch).size());
+                   constexpr int kRounds = 100;
+                   obs::Histogram on_ns(14), off_ns(14);
+                   const auto timed_serve = [](svc::Server& server,
+                                               const std::string& document,
+                                               obs::Histogram& hist) {
+                     Stopwatch request_timer;
+                     g_sink = static_cast<double>(
+                         server.serve_text(document).size());
+                     hist.record(
+                         static_cast<long>(request_timer.seconds() * 1e9));
+                   };
+                   for (int round = 0; round < kRounds; ++round) {
+                     for (const std::string& document : documents) {
+                       timed_serve(observed, document, on_ns);
+                       timed_serve(unobserved, document, off_ns);
+                     }
+                   }
+                   run.set_items(2L * kRounds *
+                                 static_cast<long>(batch.size()));
+                   run.set_rate("requests",
+                                2.0 * kRounds *
+                                    static_cast<double>(batch.size()));
+                   run.set_time_ns("observed_p99_ns",
+                                   static_cast<double>(
+                                       on_ns.value_at_quantile(0.99)));
+                   run.set_time_ns("unobserved_p99_ns",
+                                   static_cast<double>(
+                                       off_ns.value_at_quantile(0.99)));
+                   run.set_time_ns("observed_p50_ns",
+                                   static_cast<double>(
+                                       on_ns.value_at_quantile(0.50)));
+                   run.set_time_ns("unobserved_p50_ns",
+                                   static_cast<double>(
+                                       off_ns.value_at_quantile(0.50)));
+                   run.set_counter(
+                       "executed",
+                       static_cast<double>(metrics_on.counter("svc.executed") +
+                                           metrics_off.counter(
+                                               "svc.executed")));
                  });
 }
 

@@ -1,0 +1,145 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <thread>
+
+namespace xlp::obs {
+
+Histogram::Histogram(int sub_bucket_bits)
+    : bits_(std::clamp(sub_bucket_bits, 1, 30)),
+      sub_bucket_count_(1L << bits_),
+      half_(sub_bucket_count_ / 2) {}
+
+std::size_t Histogram::index_of(long value) const noexcept {
+  if (value < 0) value = 0;
+  if (value < sub_bucket_count_) return static_cast<std::size_t>(value);
+  // value in [2^m, 2^(m+1)) with m >= bits_: shift m+1-bits_ maps it into
+  // [half, sub_bucket_count), and each octave owns `half_` indices, so the
+  // index space is contiguous with the exact range below.
+  const int shift =
+      std::bit_width(static_cast<unsigned long>(value)) - bits_;
+  return static_cast<std::size_t>(shift) * static_cast<std::size_t>(half_) +
+         static_cast<std::size_t>(value >> shift);
+}
+
+long Histogram::lowest_equivalent(std::size_t index) const noexcept {
+  const long i = static_cast<long>(index);
+  if (i < sub_bucket_count_) return i;
+  const long shift = i / half_ - 1;
+  return (i - shift * half_) << shift;
+}
+
+void Histogram::record(long value, long count) {
+  if (count <= 0) return;
+  if (value < 0) value = 0;
+  const std::size_t index = index_of(value);
+  if (index >= counts_.size()) counts_.resize(index + 1, 0);
+  counts_[index] += count;
+  sum_ += value * count;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  count_ += count;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (other.bits_ == bits_) {
+    if (other.counts_.size() > counts_.size())
+      counts_.resize(other.counts_.size(), 0);
+    for (std::size_t i = 0; i < other.counts_.size(); ++i)
+      counts_[i] += other.counts_[i];
+    sum_ += other.sum_;
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+    count_ += other.count_;
+    return;
+  }
+  // Layout mismatch: re-bucket at each bucket's lowest equivalent value,
+  // then restore the exact extrema and sum from the source.
+  const long sum_before = sum_;
+  for (std::size_t i = 0; i < other.counts_.size(); ++i)
+    if (other.counts_[i] > 0)
+      record(other.lowest_equivalent(i), other.counts_[i]);
+  sum_ = sum_before + other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+long Histogram::value_at_quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const long rank = static_cast<long>(q * static_cast<double>(count_ - 1));
+  long seen = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > rank)
+      return std::clamp(lowest_equivalent(i), min_, max_);
+  }
+  return max_;
+}
+
+Json Histogram::to_json(bool deterministic) const {
+  Json doc = Json::object()
+                 .set("schema", kHistSchema)
+                 .set("sub_bucket_bits", bits_)
+                 .set("count", count_);
+  if (deterministic) {
+    return doc.set("min", 0L)
+        .set("max", 0L)
+        .set("sum", 0L)
+        .set("mean", 0.0)
+        .set("p50", 0L)
+        .set("p90", 0L)
+        .set("p99", 0L)
+        .set("buckets", Json::array());
+  }
+  doc.set("min", min())
+      .set("max", max())
+      .set("sum", sum_)
+      .set("mean", mean())
+      .set("p50", value_at_quantile(0.50))
+      .set("p90", value_at_quantile(0.90))
+      .set("p99", value_at_quantile(0.99));
+  Json buckets = Json::array();
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    buckets.push(Json::array().push(lowest_equivalent(i)).push(counts_[i]));
+  }
+  return doc.set("buckets", std::move(buckets));
+}
+
+ShardedHistogram::ShardedHistogram(int sub_bucket_bits, std::size_t shards) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    shards_.push_back(std::make_unique<Shard>(sub_bucket_bits));
+}
+
+void ShardedHistogram::record(long value) {
+  static thread_local const std::size_t thread_hash =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  Shard& shard = *shards_[thread_hash % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.hist.record(value);
+}
+
+long ShardedHistogram::count() const {
+  long total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->hist.count();
+  }
+  return total;
+}
+
+Histogram ShardedHistogram::snapshot() const {
+  Histogram merged(shards_.front()->hist.sub_bucket_bits());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    merged.merge(shard->hist);
+  }
+  return merged;
+}
+
+}  // namespace xlp::obs

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace xlp::obs {
+
+/// Schema identifier of serialized histograms.
+inline constexpr const char* kHistSchema = "xlp-hist/1";
+
+/// Log-bucketed (HDR-style) histogram of non-negative integer values —
+/// latencies in nanoseconds or cycles. Values below 2^sub_bucket_bits are
+/// recorded exactly (one unit-wide bucket per value); above, the bucket
+/// width doubles every octave, so the relative quantization error is
+/// bounded by 2^-(sub_bucket_bits-1) while memory stays
+/// O(sub_bucket_count * log(max_value)). Buckets are grown lazily, so a
+/// histogram only pays for the value range it actually sees.
+///
+/// Determinism: a histogram is a pure bag of counters — merge() is counter
+/// addition, so merging per-thread histograms yields the same bytes for
+/// any thread count and any merge order. value_at_quantile() uses the
+/// nearest-rank rule sorted[floor(q * (count - 1))], matching the
+/// simulator's historical sort-based percentiles exactly whenever every
+/// recorded value is in the exact (sub-bucket) range.
+class Histogram {
+ public:
+  /// `sub_bucket_bits` in [1, 30]: values < 2^bits are exact.
+  explicit Histogram(int sub_bucket_bits = 7);
+
+  /// Records `count` occurrences of `value` (negative values clamp to 0).
+  void record(long value, long count = 1);
+
+  /// Adds every counter of `other` into this histogram. When the bucket
+  /// layouts differ, `other`'s buckets are re-recorded at their lowest
+  /// equivalent value (still deterministic, possibly coarser).
+  void merge(const Histogram& other);
+
+  [[nodiscard]] int sub_bucket_bits() const noexcept { return bits_; }
+  [[nodiscard]] long count() const noexcept { return count_; }
+  [[nodiscard]] long sum() const noexcept { return sum_; }
+  /// Exact extrema of the recorded values (0 when empty) — tracked
+  /// alongside the buckets, so they never suffer quantization.
+  [[nodiscard]] long min() const noexcept { return count_ > 0 ? min_ : 0; }
+  [[nodiscard]] long max() const noexcept { return count_ > 0 ? max_ : 0; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_)
+                      : 0.0;
+  }
+
+  /// Nearest-rank quantile: the lowest equivalent value of the bucket
+  /// holding rank floor(q * (count - 1)), clamped into [min, max]. Exact
+  /// when every value is below 2^sub_bucket_bits; 0 when empty.
+  [[nodiscard]] long value_at_quantile(double q) const;
+
+  /// {"schema":"xlp-hist/1","sub_bucket_bits":k,"count":n,"min":...,
+  ///  "max":...,"sum":...,"mean":...,"p50":...,"p90":...,"p99":...,
+  ///  "buckets":[[lowest_value,count],...]} — non-empty buckets only.
+  /// Deterministic mode zeroes every value-derived field and empties the
+  /// buckets, keeping only the structural fields and the sample count
+  /// (the bench-harness precedent for time-derived data).
+  [[nodiscard]] Json to_json(bool deterministic = false) const;
+
+ private:
+  [[nodiscard]] std::size_t index_of(long value) const noexcept;
+  [[nodiscard]] long lowest_equivalent(std::size_t index) const noexcept;
+
+  int bits_;
+  long sub_bucket_count_;
+  long half_;
+  long count_ = 0;
+  long sum_ = 0;
+  long min_ = 0;
+  long max_ = 0;
+  std::vector<long> counts_;
+};
+
+/// Low-overhead concurrent recording front for Histogram: a fixed set of
+/// lock-striped shards, each thread recording into the shard picked by a
+/// thread-local hash of its id — so unrelated threads almost never
+/// contend, and the hot path is one uncontended mutex plus two array
+/// increments. snapshot() merges every shard; merge order is fixed and
+/// merging is commutative counter addition, so the snapshot is
+/// deterministic for any thread count.
+class ShardedHistogram {
+ public:
+  explicit ShardedHistogram(int sub_bucket_bits = 7, std::size_t shards = 16);
+
+  void record(long value);
+  /// Total samples recorded across every shard.
+  [[nodiscard]] long count() const;
+  /// Deterministic merge of every shard.
+  [[nodiscard]] Histogram snapshot() const;
+
+ private:
+  struct Shard {
+    explicit Shard(int bits) : hist(bits) {}
+    mutable std::mutex mutex;
+    Histogram hist;
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace xlp::obs

@@ -47,6 +47,16 @@ double field_number(const Json& record, const char* key, double fallback) {
   return (v != nullptr && v->is_number()) ? v->as_number() : fallback;
 }
 
+/// Compact nanosecond label for histogram axes and quantile summaries.
+std::string fmt_ns(double ns) {
+  char buf[32];
+  if (ns < 1e3) std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  else if (ns < 1e6) std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  else if (ns < 1e9) std::snprintf(buf, sizeof(buf), "%.1fms", ns / 1e6);
+  else std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  return buf;
+}
+
 /// Buckets one trace event into the derived series map.
 void absorb_trace_event(const Json& record, RunDirData& data) {
   const Json* event = record.find("event");
@@ -81,6 +91,13 @@ void classify_json(Json doc, RunDirData& data) {
       if (schema->as_string() == "xlp-series/1" && !data.series)
         data.series = std::move(doc);
       return;  // other schemas (bench, ledger) are not report inputs here
+    }
+    if (const Json* kind = doc.find("kind");
+        kind != nullptr && kind->is_string() &&
+        kind->as_string() == "stats" && doc.find("latency") != nullptr) {
+      // xlpd --stats-json snapshot (the `stats` request payload).
+      if (!data.server_stats) data.server_stats = std::move(doc);
+      return;
     }
     if (doc.find("counters") != nullptr && doc.find("timers") != nullptr) {
       if (!data.metrics) data.metrics = std::move(doc);
@@ -167,8 +184,15 @@ RunDirData collect_run_dir(const std::string& dir) {
       std::string line;
       while (std::getline(in, line)) {
         if (line.empty()) continue;
-        if (auto record = Json::parse(line); record && record->is_object())
-          absorb_trace_event(*record, data);
+        auto record = Json::parse(line);
+        if (!record || !record->is_object()) continue;
+        if (const Json* schema = record->find("schema");
+            schema != nullptr && schema->is_string() &&
+            schema->as_string() == "svc-events/1") {
+          data.server_events.push_back(std::move(*record));
+          continue;
+        }
+        absorb_trace_event(*record, data);
       }
     } else if (ends_with(name, ".json")) {
       const auto content = util::read_file(path);
@@ -289,6 +313,76 @@ std::string svg_line_chart(const std::string& title,
     svg << "<text x=\"" << left + plot_w - 136 << "\" y=\"" << ly
         << "\" class=\"clabel\">" << html_escape(s.name) << "</text>\n";
   }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+std::string svg_latency_histogram(const std::string& title,
+                                  const Json& hist) {
+  const int width = 660, height = 220;
+  const double left = 58.0, right = 14.0, top = 26.0, bottom = 32.0;
+  const double plot_w = width - left - right;
+  const double plot_h = height - top - bottom;
+
+  const Json* buckets = hist.find("buckets");
+  const double count = field_number(hist, "count", 0.0);
+  std::ostringstream svg;
+  svg << "<svg width=\"" << width << "\" height=\"" << height
+      << "\" viewBox=\"0 0 " << width << " " << height
+      << "\" class=\"chart\">\n";
+  svg << "<text x=\"" << left << "\" y=\"16\" class=\"ctitle\">"
+      << html_escape(title) << " &mdash; "
+      << fmt(count) << " samples, p50 "
+      << fmt_ns(field_number(hist, "p50", 0)) << ", p90 "
+      << fmt_ns(field_number(hist, "p90", 0)) << ", p99 "
+      << fmt_ns(field_number(hist, "p99", 0)) << ", max "
+      << fmt_ns(field_number(hist, "max", 0)) << "</text>\n";
+  svg << "<rect x=\"" << left << "\" y=\"" << top << "\" width=\"" << plot_w
+      << "\" height=\"" << plot_h
+      << "\" fill=\"none\" stroke=\"#999\" stroke-width=\"1\"/>\n";
+  if (count <= 0 || buckets == nullptr || !buckets->is_array() ||
+      buckets->size() == 0) {
+    svg << "<text x=\"" << left + plot_w / 2 << "\" y=\""
+        << top + plot_h / 2 << "\" text-anchor=\"middle\" class=\"clabel\">"
+        << "no samples</text>\n</svg>\n";
+    return svg.str();
+  }
+
+  double peak = 0.0;
+  for (std::size_t i = 0; i < buckets->size(); ++i) {
+    const Json& b = buckets->at(i);
+    if (b.is_array() && b.size() >= 2)
+      peak = std::max(peak, b.at(1).as_number());
+  }
+  if (peak <= 0.0) peak = 1.0;
+
+  // One equal-width bar per populated bucket: the log-bucketed layout
+  // already makes the x axis roughly logarithmic in latency.
+  const std::size_t bars = buckets->size();
+  const double bar_w = plot_w / static_cast<double>(bars);
+  for (std::size_t i = 0; i < bars; ++i) {
+    const Json& b = buckets->at(i);
+    if (!b.is_array() || b.size() < 2) continue;
+    const double c = b.at(1).as_number();
+    const double h = plot_h * c / peak;
+    svg << "<rect x=\"" << fmt(left + bar_w * static_cast<double>(i) + 0.5)
+        << "\" y=\"" << fmt(top + plot_h - h) << "\" width=\""
+        << fmt(std::max(bar_w - 1.0, 0.5)) << "\" height=\"" << fmt(h)
+        << "\" fill=\"" << kPalette[0] << "\"><title>&ge; "
+        << fmt_ns(b.at(0).as_number()) << ": " << fmt(c)
+        << "</title></rect>\n";
+  }
+  svg << "<text x=\"" << left << "\" y=\"" << height - 10
+      << "\" class=\"clabel\">"
+      << fmt_ns(buckets->at(0).at(0).as_number()) << "</text>\n";
+  svg << "<text x=\"" << left + plot_w << "\" y=\"" << height - 10
+      << "\" text-anchor=\"end\" class=\"clabel\">"
+      << fmt_ns(buckets->at(bars - 1).at(0).as_number()) << "</text>\n";
+  svg << "<text x=\"" << left - 6 << "\" y=\"" << top + 10
+      << "\" text-anchor=\"end\" class=\"clabel\">" << fmt(peak)
+      << "</text>\n";
+  svg << "<text x=\"" << left - 6 << "\" y=\"" << top + plot_h
+      << "\" text-anchor=\"end\" class=\"clabel\">0</text>\n";
   svg << "</svg>\n";
   return svg.str();
 }
@@ -414,6 +508,44 @@ std::string render_report_html(const RunDirData& data) {
   if (data.heatmap) {
     body += "<h2>Channel utilization heatmap</h2>\n";
     body += svg_channel_heatmap(*data.heatmap);
+  }
+
+  if (data.server_stats || !data.server_events.empty()) {
+    body += "<h2>Server</h2>\n";
+    if (data.server_stats) {
+      // The dedup funnel and operational counters from the final stats
+      // snapshot, then one histogram chart per request stage.
+      body += "<table>\n<tr><th>metric</th><th>value</th></tr>\n";
+      stats_rows(*data.server_stats, "", body);
+      body += "</table>\n";
+      if (const Json* latency = data.server_stats->find("latency");
+          latency != nullptr && latency->is_object()) {
+        for (const auto& [stage, hist] : latency->members())
+          body += svg_latency_histogram(stage, hist);
+      }
+    }
+    if (!data.server_events.empty()) {
+      // Per-request end-to-end latency over server uptime, from the
+      // svc-events/1 lifecycle stream.
+      ChartSeries e2e;
+      e2e.name = "end_to_end_ms";
+      std::map<std::string, long> outcomes;
+      for (const Json& event : data.server_events) {
+        e2e.points.emplace_back(
+            field_number(event, "received_s", 0.0),
+            field_number(event, "end_to_end_ns", 0.0) / 1e6);
+        const Json* outcome = event.find("outcome");
+        ++outcomes[outcome != nullptr && outcome->is_string()
+                       ? outcome->as_string()
+                       : "?"];
+      }
+      body += svg_line_chart("request end-to-end latency (ms)", {e2e});
+      body += "<table>\n<tr><th>outcome</th><th>requests</th></tr>\n";
+      for (const auto& [outcome, n] : outcomes)
+        body += "<tr><td>" + html_escape(outcome) + "</td><td class=\"num\">" +
+                std::to_string(n) + "</td></tr>\n";
+      body += "</table>\n";
+    }
   }
 
   if (data.profile && data.profile->is_array()) {

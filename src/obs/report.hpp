@@ -26,6 +26,10 @@ struct RunDirData {
   std::optional<Json> stats;    // SimStats serialization
   std::optional<Json> metrics;  // MetricsRegistry serialization
   std::optional<Json> profile;  // ProfileReport::to_json() array
+  /// Final `xlpd` stats snapshot ("kind":"stats" + latency histograms).
+  std::optional<Json> server_stats;
+  /// svc-events/1 request lifecycle records, file order.
+  std::vector<Json> server_events;
   std::vector<Json> ledger;     // ledger.jsonl records, file order
   /// Last `sim.channel_utilization` event found in any JSONL trace.
   std::optional<Json> heatmap;
@@ -49,6 +53,13 @@ struct RunDirData {
 [[nodiscard]] std::string svg_line_chart(const std::string& title,
                                          const std::vector<ChartSeries>& series,
                                          int width = 660, int height = 240);
+
+/// Bar chart of an xlp-hist/1 latency histogram (docs/observability.md):
+/// one bar per populated bucket, nanosecond tick labels, and the
+/// p50/p90/p99 quantiles in the title line. "No samples" placeholder when
+/// the histogram is empty.
+[[nodiscard]] std::string svg_latency_histogram(const std::string& title,
+                                                const Json& hist);
 
 /// Channel-utilization heatmap from a `sim.channel_utilization` event:
 /// routers on their mesh grid, each directed channel a line colored by

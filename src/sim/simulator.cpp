@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "fault/reroute.hpp"
+#include "obs/histogram.hpp"
 #include "obs/profiler.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
@@ -1076,15 +1077,26 @@ SimStats Simulator::finalize() const {
       sq += d * d;
     }
     stats.stddev_latency = std::sqrt(sq / latencies.size());
-    std::sort(latencies.begin(), latencies.end());
-    auto percentile = [&](double p) {
-      const auto idx = static_cast<std::size_t>(
-          p * static_cast<double>(latencies.size() - 1));
-      return latencies[idx];
-    };
-    stats.p50_latency = percentile(0.50);
-    stats.p95_latency = percentile(0.95);
-    stats.p99_latency = percentile(0.99);
+
+    // Percentiles through the shared log-bucketed histogram. Latencies are
+    // integral cycle counts, so sizing the exact (unit-bucket) range to
+    // cover the observed max reproduces the historical sort-based
+    // sorted[floor(p * (n - 1))] values byte-for-byte — the histogram's
+    // nearest-rank rule is the same formula. (Beyond 2^22 cycles the
+    // exact range caps out and quantiles become log-bucketed; no
+    // simulation this code runs gets near that.)
+    int hist_bits = 1;
+    while (hist_bits < 22 &&
+           static_cast<double>(1L << hist_bits) <= stats.max_latency)
+      ++hist_bits;
+    obs::Histogram latency_hist(hist_bits);
+    for (const double x : latencies) latency_hist.record(static_cast<long>(x));
+    stats.p50_latency =
+        static_cast<double>(latency_hist.value_at_quantile(0.50));
+    stats.p95_latency =
+        static_cast<double>(latency_hist.value_at_quantile(0.95));
+    stats.p99_latency =
+        static_cast<double>(latency_hist.value_at_quantile(0.99));
 
     // Batch means over the measurement window for a confidence interval
     // (consecutive batches damp the autocorrelation of queueing systems).

@@ -94,14 +94,11 @@ bool read_exact(int fd, char* data, std::size_t bytes) {
   return true;
 }
 
-}  // namespace
-
-std::optional<std::string> socket_submit(const std::string& socket_path,
-                                         const std::string& text) {
-  if (socket_path.size() >= sizeof(sockaddr_un{}.sun_path))
-    return std::nullopt;
+/// Connected AF_UNIX stream socket to `socket_path`, or -1.
+int connect_unix(const std::string& socket_path) {
+  if (socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) return -1;
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return std::nullopt;
+  if (fd < 0) return -1;
   sockaddr_un address{};
   address.sun_family = AF_UNIX;
   std::strncpy(address.sun_path, socket_path.c_str(),
@@ -109,38 +106,65 @@ std::optional<std::string> socket_submit(const std::string& socket_path,
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&address),
                 sizeof(address)) != 0) {
     ::close(fd);
-    return std::nullopt;
+    return -1;
   }
+  return fd;
+}
 
+bool write_frame(int fd, const std::string& text) {
   const auto length = static_cast<std::uint32_t>(text.size());
   const char header[4] = {static_cast<char>(length & 0xff),
                           static_cast<char>((length >> 8) & 0xff),
                           static_cast<char>((length >> 16) & 0xff),
                           static_cast<char>((length >> 24) & 0xff)};
-  std::optional<std::string> reply;
-  if (write_exact(fd, header, 4) &&
-      (text.empty() || write_exact(fd, text.data(), text.size()))) {
-    char reply_header[4];
-    if (read_exact(fd, reply_header, 4)) {
-      const std::uint32_t reply_length =
-          (static_cast<std::uint32_t>(
-               static_cast<unsigned char>(reply_header[0]))) |
-          (static_cast<std::uint32_t>(
-               static_cast<unsigned char>(reply_header[1]))
-           << 8) |
-          (static_cast<std::uint32_t>(
-               static_cast<unsigned char>(reply_header[2]))
-           << 16) |
-          (static_cast<std::uint32_t>(
-               static_cast<unsigned char>(reply_header[3]))
-           << 24);
-      std::string body(reply_length, '\0');
-      if (reply_length == 0 || read_exact(fd, body.data(), reply_length))
-        reply = std::move(body);
-    }
-  }
-  ::close(fd);
-  return reply;
+  return write_exact(fd, header, 4) &&
+         (text.empty() || write_exact(fd, text.data(), text.size()));
+}
+
+bool read_frame(int fd, std::string& out) {
+  char header[4];
+  if (!read_exact(fd, header, 4)) return false;
+  const std::uint32_t length =
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[0]))) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[1]))
+       << 8) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[2]))
+       << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(header[3]))
+       << 24);
+  out.assign(length, '\0');
+  return length == 0 || read_exact(fd, out.data(), length);
+}
+
+}  // namespace
+
+SocketClient::SocketClient(const std::string& socket_path)
+    : fd_(connect_unix(socket_path)) {}
+
+SocketClient::~SocketClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::optional<std::string> SocketClient::submit(const std::string& text) {
+  if (fd_ < 0) return std::nullopt;
+  std::string reply;
+  if (write_frame(fd_, text) && read_frame(fd_, reply)) return reply;
+  ::close(fd_);
+  fd_ = -1;
+  return std::nullopt;
+}
+
+std::optional<std::string> socket_submit(const std::string& socket_path,
+                                         const std::string& text) {
+  SocketClient client(socket_path);
+  if (!client.ok()) return std::nullopt;
+  return client.submit(text);
+}
+
+std::string stats_request_text() {
+  Request probe;
+  probe.kind = RequestKind::kStats;
+  return probe.to_json().dump();
 }
 
 }  // namespace xlp::svc

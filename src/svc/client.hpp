@@ -47,4 +47,30 @@ namespace xlp::svc {
 [[nodiscard]] std::optional<std::string> socket_submit(
     const std::string& socket_path, const std::string& text);
 
+/// A persistent connection to a socket `xlpd`: one length-prefixed frame
+/// round trip per submit() call, all over the same connection — so a
+/// client can time requests individually (`xlp submit`) or poll a stats
+/// snapshot cheaply (`xlp top`) without a connect per request.
+class SocketClient {
+ public:
+  /// Connects to the daemon; ok() is false when it is unreachable.
+  explicit SocketClient(const std::string& socket_path);
+  ~SocketClient();
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  [[nodiscard]] bool ok() const noexcept { return fd_ >= 0; }
+
+  /// Sends one submission document, reads one reply document. nullopt on
+  /// a transport error; the connection is dead afterwards.
+  [[nodiscard]] std::optional<std::string> submit(const std::string& text);
+
+ private:
+  int fd_ = -1;
+};
+
+/// The canonical `stats` probe submission ({"schema","kind":"stats"}) —
+/// what `xlp top` sends every refresh.
+[[nodiscard]] std::string stats_request_text();
+
 }  // namespace xlp::svc

@@ -163,6 +163,7 @@ const char* to_string(RequestKind kind) noexcept {
     case RequestKind::kSolve: return "solve";
     case RequestKind::kEvaluate: return "evaluate";
     case RequestKind::kSimulate: return "simulate";
+    case RequestKind::kStats: return "stats";
   }
   return "unknown";
 }
@@ -170,8 +171,11 @@ const char* to_string(RequestKind kind) noexcept {
 obs::Json Request::to_json() const {
   obs::Json doc = obs::Json::object()
                       .set("schema", kRequestSchema)
-                      .set("kind", svc::to_string(kind))
-                      .set("n", n);
+                      .set("kind", svc::to_string(kind));
+  // A stats request names no work: every stats request is the same
+  // request, {"schema","kind"} only.
+  if (kind == RequestKind::kStats) return doc;
+  doc.set("n", n);
   if (height > 0 && height != n) doc.set("height", height);
   doc.set("c", link_limit).set("b", base_flit_bits);
   if (kind == RequestKind::kSolve) {
@@ -198,6 +202,7 @@ std::string Request::id() const {
 }
 
 void Request::validate() const {
+  if (kind == RequestKind::kStats) return;  // carries no parameters
   if (n < 2 || n > 256) bad_request("n must be in [2, 256]");
   if (height != 0 && height != n)
     bad_request("rectangular requests are not served yet (height must be "
@@ -242,7 +247,8 @@ Request Request::from_json(const obs::Json& doc) {
         if (kind == "solve") request.kind = RequestKind::kSolve;
         else if (kind == "evaluate") request.kind = RequestKind::kEvaluate;
         else if (kind == "simulate") request.kind = RequestKind::kSimulate;
-        else bad_request("kind must be solve, evaluate or simulate");
+        else if (kind == "stats") request.kind = RequestKind::kStats;
+        else bad_request("kind must be solve, evaluate, simulate or stats");
       } else if (key == "n") {
         request.n = static_cast<int>(value.as_long());
       } else if (key == "height") {
@@ -290,6 +296,11 @@ obs::Json execute_request(const Request& request,
     case RequestKind::kSolve: return execute_solve(request, control);
     case RequestKind::kEvaluate: return execute_evaluate(request);
     case RequestKind::kSimulate: return execute_simulate(request, control);
+    case RequestKind::kStats:
+      // Stats requests are introspection, answered by the Server from
+      // memory; they never reach the executor.
+      throw Error(ErrorCode::kState,
+                  "stats requests are answered by the server, not executed");
   }
   throw Error(ErrorCode::kInternal, "unhandled request kind");
 }

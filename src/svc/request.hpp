@@ -18,8 +18,11 @@ inline constexpr const char* kRequestSchema = "xlp-request/1";
 /// What a request asks the service to do.
 ///  * kSolve: anneal P̄(n, C) and return the placement + objective;
 ///  * kEvaluate: analytic latency breakdown of a fixed design point;
-///  * kSimulate: flit-level simulation of a fixed design point.
-enum class RequestKind { kSolve, kEvaluate, kSimulate };
+///  * kSimulate: flit-level simulation of a fixed design point;
+///  * kStats: a live introspection snapshot of the serving process,
+///    answered by the server from memory (never executed, never cached,
+///    never ledgered — see Server::stats_snapshot()).
+enum class RequestKind { kSolve, kEvaluate, kSimulate, kStats };
 
 [[nodiscard]] const char* to_string(RequestKind kind) noexcept;
 

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <deque>
 #include <filesystem>
+#include <string_view>
 #include <system_error>
 #include <thread>
 #include <unordered_map>
@@ -18,6 +19,7 @@
 #include "obs/ledger.hpp"
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
+#include "obs/timeseries.hpp"
 #include "util/error.hpp"
 #include "util/fsio.hpp"
 #include "util/parallel.hpp"
@@ -48,14 +50,32 @@ std::string Reply::to_text() const {
   return out;
 }
 
+namespace {
+
+/// Latency histograms hold nanoseconds: exact below 128ns, log-bucketed
+/// with <= 1.6% relative error above — microseconds to minutes all fit.
+constexpr int kLatencyHistBits = 7;
+
+long to_ns(double seconds) {
+  return seconds > 0.0 ? static_cast<long>(seconds * 1e9) : 0;
+}
+
+}  // namespace
+
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
       metrics_(options_.metrics != nullptr ? options_.metrics
                                            : &obs::MetricsRegistry::global()),
-      cache_(options_.cache_dir, options_.cache_entries, metrics_) {
+      cache_(options_.cache_dir, options_.cache_entries, metrics_),
+      queue_wait_ns_(kLatencyHistBits),
+      execute_ns_(kLatencyHistBits),
+      end_to_end_ns_(kLatencyHistBits) {
   const obs::Provenance prov = obs::Provenance::collect(0);
   git_sha_ = prov.git_sha;
   hostname_ = prov.hostname;
+  if (!options_.events_path.empty() &&
+      obs::ensure_parent_dir(options_.events_path))
+    events_out_.open(options_.events_path, std::ios::app);
 }
 
 long Server::requests_served() const noexcept {
@@ -64,17 +84,32 @@ long Server::requests_served() const noexcept {
 }
 
 Reply Server::resolve(const Request& request) {
+  return resolve_received(request, uptime_.seconds());
+}
+
+Reply Server::resolve_received(const Request& request, double received) {
+  // Stats requests are introspection: answered from memory before the
+  // cache / dedup / execution machinery, never counted as served work.
+  if (request.kind == RequestKind::kStats) return stats_reply();
+
   Stopwatch watch;
   metrics_->add("svc.requests");
+  // Queue wait: from receipt (frame read / batch entry) to the moment a
+  // worker picked the request up — which is now.
+  const double queue_wait = std::max(uptime_.seconds() - received, 0.0);
   const std::string id = request.id();
 
   Reply reply;
   reply.request_id = id;
+  const char* outcome = "cache";
+  std::optional<double> execute_seconds;
   if (auto cached = cache_.get(id)) {
     reply.cache_hit = true;
     reply.payload_text = std::move(*cached);
   } else {
-    reply = execute_or_join(request, id);
+    double executed = 0.0;
+    reply = execute_or_join(request, id, &outcome, &executed);
+    if (std::string_view(outcome) == "miss") execute_seconds = executed;
   }
 
   append_ledger(request, reply, watch.seconds());
@@ -82,10 +117,14 @@ Reply Server::resolve(const Request& request) {
     std::lock_guard<std::mutex> lock(served_mutex_);
     ++requests_served_;
   }
+  observe_request(request, reply, outcome, received, queue_wait,
+                  execute_seconds);
   return reply;
 }
 
-Reply Server::execute_or_join(const Request& request, const std::string& id) {
+Reply Server::execute_or_join(const Request& request, const std::string& id,
+                              const char** outcome,
+                              double* execute_seconds) {
   Reply reply;
   reply.request_id = id;
 
@@ -106,6 +145,7 @@ Reply Server::execute_or_join(const Request& request, const std::string& id) {
   if (!owner) {
     // Another thread is computing this exact request: wait for its answer
     // and fan it out. No second execution happens.
+    *outcome = "inflight";
     metrics_->add("svc.inflight.hits");
     std::unique_lock<std::mutex> lock(flight->mutex);
     flight->done_cv.wait(lock, [&flight] { return flight->done; });
@@ -115,7 +155,9 @@ Reply Server::execute_or_join(const Request& request, const std::string& id) {
     return reply;
   }
 
+  *outcome = "miss";
   {
+    Stopwatch execute_watch;
     obs::ScopedTimer timer(*metrics_, "svc.execute");
     runctl::Deadline deadline =
         options_.request_time_limit > 0.0
@@ -135,6 +177,7 @@ Reply Server::execute_or_join(const Request& request, const std::string& id) {
       reply.payload_text = error.what();
       metrics_->add("svc.errors");
     }
+    *execute_seconds = execute_watch.seconds();
   }
 
   {
@@ -152,15 +195,24 @@ Reply Server::execute_or_join(const Request& request, const std::string& id) {
 }
 
 std::vector<Reply> Server::serve_batch(const std::vector<Request>& requests) {
+  // Every request in the batch was received now, on the uptime clock:
+  // queue-wait measures from here to its pool pickup.
+  const double received = uptime_.seconds();
+
   // Dedupe by content id *before* touching the pool: each unique request
   // resolves exactly once, and which occurrence carries the executed reply
   // is decided by submission order, not scheduling — so the reply document
-  // is byte-identical at any thread count.
+  // is byte-identical at any thread count. Stats requests bypass the pool
+  // entirely (they are answered from memory during assembly below).
   std::vector<std::string> ids;
   ids.reserve(requests.size());
   std::unordered_map<std::string, std::size_t> first_of;
   std::vector<std::size_t> unique_indices;
   for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].kind == RequestKind::kStats) {
+      ids.emplace_back();
+      continue;
+    }
     ids.push_back(requests[i].id());
     if (first_of.emplace(ids.back(), unique_indices.size()).second)
       unique_indices.push_back(i);
@@ -169,13 +221,17 @@ std::vector<Reply> Server::serve_batch(const std::vector<Request>& requests) {
   std::vector<Reply> unique_replies(unique_indices.size());
   util::ThreadPool pool(options_.threads);
   pool.parallel_for(static_cast<long>(unique_indices.size()), [&](long u) {
-    unique_replies[static_cast<std::size_t>(u)] =
-        resolve(requests[unique_indices[static_cast<std::size_t>(u)]]);
+    unique_replies[static_cast<std::size_t>(u)] = resolve_received(
+        requests[unique_indices[static_cast<std::size_t>(u)]], received);
   });
 
   std::vector<Reply> replies;
   replies.reserve(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].kind == RequestKind::kStats) {
+      replies.push_back(stats_reply());
+      continue;
+    }
     const std::size_t u = first_of.at(ids[i]);
     Reply reply = unique_replies[u];
     if (unique_indices[u] != i) {
@@ -184,9 +240,14 @@ std::vector<Reply> Server::serve_batch(const std::vector<Request>& requests) {
       // counts as a request of its own, ledger record included.
       reply.cache_hit = true;
       metrics_->add("svc.requests");
+      metrics_->add("svc.batch.hits");
       append_ledger(requests[i], reply, 0.0);
-      std::lock_guard<std::mutex> lock(served_mutex_);
-      ++requests_served_;
+      {
+        std::lock_guard<std::mutex> lock(served_mutex_);
+        ++requests_served_;
+      }
+      observe_request(requests[i], reply, "batch", received, std::nullopt,
+                      std::nullopt);
     }
     replies.push_back(std::move(reply));
   }
@@ -258,6 +319,8 @@ long Server::run_queue(const std::string& queue_dir, bool once,
         names.push_back(entry.path().filename().string());
     }
     std::sort(names.begin(), names.end());
+    queue_depth_.store(static_cast<long>(names.size()),
+                       std::memory_order_relaxed);
 
     for (const std::string& name : names) {
       if (cancelled()) return served;
@@ -269,8 +332,10 @@ long Server::run_queue(const std::string& queue_dir, bool once,
                                    serve_text(*text)))
         continue;  // keep the submission; retry on the next pass
       fs::remove(inbox / name, ec);
+      queue_depth_.fetch_sub(1, std::memory_order_relaxed);
       ++served;
     }
+    queue_depth_.store(0, std::memory_order_relaxed);
     if (once) return served;
 
     // Sleep in short slices so SIGINT is honoured promptly.
@@ -376,6 +441,8 @@ bool Server::run_socket(const std::string& socket_path) {
           if (pending.empty()) return;  // drained and shut down
           fd = pending.front();
           pending.pop_front();
+          queue_depth_.store(static_cast<long>(pending.size()),
+                             std::memory_order_relaxed);
         }
         std::string text;
         while (read_frame(fd, text)) {
@@ -399,6 +466,8 @@ bool Server::run_socket(const std::string& socket_path) {
     {
       std::lock_guard<std::mutex> lock(queue_mutex);
       pending.push_back(client);
+      queue_depth_.store(static_cast<long>(pending.size()),
+                         std::memory_order_relaxed);
     }
     queue_cv.notify_one();
   }
@@ -430,6 +499,169 @@ void Server::append_ledger(const Request& request, const Reply& reply,
   // concurrent pool workers never drop each other's records.
   std::lock_guard<std::mutex> lock(ledger_mutex_);
   (void)obs::append_ledger_entry(options_.ledger_path, entry);
+}
+
+long Server::inflight_count() {
+  std::lock_guard<std::mutex> lock(inflight_mutex_);
+  return static_cast<long>(inflight_.size());
+}
+
+void Server::observe_request(const Request& request, const Reply& reply,
+                             const char* outcome, double received,
+                             std::optional<double> queue_wait_seconds,
+                             std::optional<double> execute_seconds) {
+  const double replied = uptime_.seconds();
+  const double end_to_end = std::max(replied - received, 0.0);
+
+  if (options_.observe) {
+    kind_counts_[static_cast<int>(request.kind)].fetch_add(
+        1, std::memory_order_relaxed);
+    if (queue_wait_seconds)
+      queue_wait_ns_.record(to_ns(*queue_wait_seconds));
+    if (execute_seconds) execute_ns_.record(to_ns(*execute_seconds));
+    // Exactly one end-to-end sample per request served, whatever the
+    // dedup outcome: the histogram's count equals requests_served().
+    end_to_end_ns_.record(to_ns(end_to_end));
+
+    if (options_.series != nullptr) {
+      std::lock_guard<std::mutex> lock(series_mutex_);
+      ++window_requests_;
+      if (reply.cache_hit) ++window_cache_hits_;
+      const double span = replied - window_start_;
+      if (span >= options_.series_window && span > 0.0) {
+        options_.series->append("svc.requests_per_sec", replied,
+                                static_cast<double>(window_requests_) / span);
+        options_.series->append("svc.cache_hit_rate", replied,
+                                static_cast<double>(window_cache_hits_) /
+                                    static_cast<double>(window_requests_));
+        options_.series->append(
+            "svc.queue_depth", replied,
+            static_cast<double>(
+                queue_depth_.load(std::memory_order_relaxed)));
+        options_.series->append("svc.inflight", replied,
+                                static_cast<double>(inflight_count()));
+        window_start_ = replied;
+        window_requests_ = 0;
+        window_cache_hits_ = 0;
+      }
+    }
+  }
+
+  if (events_out_.is_open()) {
+    const obs::Json event =
+        obs::Json::object()
+            .set("schema", kEventsSchema)
+            .set("request_id", reply.request_id)
+            .set("kind", svc::to_string(request.kind))
+            .set("outcome", outcome)
+            .set("ok", reply.ok)
+            .set("received_s", received)
+            .set("queue_wait_ns",
+                 queue_wait_seconds ? to_ns(*queue_wait_seconds) : 0L)
+            .set("execute_ns", execute_seconds ? to_ns(*execute_seconds) : 0L)
+            .set("end_to_end_ns", to_ns(end_to_end));
+    std::lock_guard<std::mutex> lock(events_mutex_);
+    events_out_ << event.dump() << '\n';
+    events_out_.flush();
+  }
+}
+
+Reply Server::stats_reply() {
+  metrics_->add("svc.stats");
+  Request probe;
+  probe.kind = RequestKind::kStats;
+  Reply reply;
+  reply.request_id = probe.id();
+  reply.ok = true;
+  reply.payload_text = stats_snapshot().dump();
+  return reply;
+}
+
+obs::Json Server::stats_snapshot() {
+  const double uptime = uptime_.seconds();
+  const long requests = metrics_->counter("svc.requests");
+  const long executed = metrics_->counter("svc.executed");
+  const long errors = metrics_->counter("svc.errors");
+  const long cache_hits = metrics_->counter("svc.cache.hits");
+  const long inflight_hits = metrics_->counter("svc.inflight.hits");
+  const long batch_hits = metrics_->counter("svc.batch.hits");
+  const long dedup_hits = cache_hits + inflight_hits + batch_hits;
+  const obs::TimerStat execute_timer = metrics_->timer("svc.execute");
+  const int threads = util::resolve_thread_count(options_.threads);
+  const double utilization =
+      uptime > 0.0 && threads > 0
+          ? std::min(1.0, execute_timer.seconds /
+                              (uptime * static_cast<double>(threads)))
+          : 0.0;
+
+  return obs::Json::object()
+      .set("kind", "stats")
+      .set("uptime_seconds", uptime)
+      .set("requests_served", requests_served())
+      .set("stats_requests", metrics_->counter("svc.stats"))
+      .set("queue_depth", queue_depth_.load(std::memory_order_relaxed))
+      .set("inflight", inflight_count())
+      .set("kinds",
+           obs::Json::object()
+               .set("solve",
+                    kind_counts_[static_cast<int>(RequestKind::kSolve)].load(
+                        std::memory_order_relaxed))
+               .set("evaluate",
+                    kind_counts_[static_cast<int>(RequestKind::kEvaluate)]
+                        .load(std::memory_order_relaxed))
+               .set("simulate",
+                    kind_counts_[static_cast<int>(RequestKind::kSimulate)]
+                        .load(std::memory_order_relaxed)))
+      .set("dedup",
+           obs::Json::object()
+               .set("cache_hits", cache_hits)
+               .set("cache_misses", metrics_->counter("svc.cache.misses"))
+               .set("inflight_hits", inflight_hits)
+               .set("batch_hits", batch_hits)
+               .set("executed", executed)
+               .set("errors", errors)
+               .set("hit_rate", requests > 0 ? static_cast<double>(dedup_hits) /
+                                                   static_cast<double>(requests)
+                                             : 0.0))
+      .set("cache",
+           obs::Json::object()
+               .set("entries", static_cast<long>(cache_.size()))
+               .set("capacity", static_cast<long>(options_.cache_entries))
+               .set("evictions", metrics_->counter("svc.cache.evictions")))
+      .set("workers", obs::Json::object()
+                          .set("threads", threads)
+                          .set("busy_seconds", execute_timer.seconds)
+                          .set("utilization", utilization))
+      .set("latency",
+           obs::Json::object()
+               .set("queue_wait", queue_wait_ns_.snapshot().to_json())
+               .set("execute", execute_ns_.snapshot().to_json())
+               .set("end_to_end", end_to_end_ns_.snapshot().to_json()));
+}
+
+void Server::flush_observability() {
+  if (options_.observe && options_.series != nullptr) {
+    std::lock_guard<std::mutex> lock(series_mutex_);
+    if (window_requests_ > 0) {
+      const double now = uptime_.seconds();
+      const double span = std::max(now - window_start_, 1e-9);
+      options_.series->append("svc.requests_per_sec", now,
+                              static_cast<double>(window_requests_) / span);
+      options_.series->append("svc.cache_hit_rate", now,
+                              static_cast<double>(window_cache_hits_) /
+                                  static_cast<double>(window_requests_));
+      options_.series->append(
+          "svc.queue_depth", now,
+          static_cast<double>(queue_depth_.load(std::memory_order_relaxed)));
+      options_.series->append("svc.inflight", now,
+                              static_cast<double>(inflight_count()));
+      window_start_ = now;
+      window_requests_ = 0;
+      window_cache_hits_ = 0;
+    }
+  }
+  std::lock_guard<std::mutex> lock(events_mutex_);
+  if (events_out_.is_open()) events_out_.flush();
 }
 
 }  // namespace xlp::svc

@@ -1,24 +1,35 @@
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "obs/histogram.hpp"
 #include "runctl/control.hpp"
 #include "svc/cache.hpp"
 #include "svc/request.hpp"
+#include "util/stopwatch.hpp"
 
 namespace xlp::obs {
 class MetricsRegistry;
-}
+class SeriesRecorder;
+}  // namespace xlp::obs
 
 namespace xlp::svc {
 
 /// Schema identifier of serialized replies.
 inline constexpr const char* kReplySchema = "xlp-reply/1";
+
+/// Schema identifier of request lifecycle event records
+/// (server-events.jsonl): one JSON line per request served, with the
+/// dedup outcome and per-stage durations.
+inline constexpr const char* kEventsSchema = "svc-events/1";
 
 /// The answer to one request. `payload_text` is the canonical result
 /// payload *bytes* (what the cache stores), spliced verbatim into the
@@ -55,6 +66,22 @@ struct ServerOptions {
   /// identity and `cache_hit` recording how it was answered.
   std::string ledger_path;
   obs::MetricsRegistry* metrics = nullptr;  ///< nullptr = global()
+
+  /// Record latency histograms (queue-wait / execution / end-to-end),
+  /// per-kind counters and the series feed — the data behind `stats`
+  /// requests. Off benchmarks the bare hot path (bench/suites.cpp pins
+  /// the recording overhead under 1%).
+  bool observe = true;
+  /// Request lifecycle event log ("" disables): one append-only
+  /// `svc-events/1` JSONL record per request served, correlated to the
+  /// ledger by request id.
+  std::string events_path;
+  /// Optional operational time series (svc.requests_per_sec,
+  /// svc.cache_hit_rate, svc.queue_depth, svc.inflight), one point per
+  /// `series_window`. Not owned; the server serializes its own appends,
+  /// but the recorder must not be written concurrently by anyone else.
+  obs::SeriesRecorder* series = nullptr;
+  double series_window = 1.0;  ///< seconds per series sample window
 };
 
 /// The batch query server: resolves requests through a content-addressed
@@ -115,6 +142,18 @@ class Server {
   [[nodiscard]] ResultCache& cache() noexcept { return cache_; }
   [[nodiscard]] long requests_served() const noexcept;
 
+  /// The live introspection snapshot a `stats` request returns, built
+  /// from memory (counters, histograms, gauges) without touching the
+  /// executor pool: uptime, per-kind counts, dedup-layer hit rates, cache
+  /// occupancy/evictions, worker utilization and the three latency
+  /// histograms (queue-wait / execution / end-to-end).
+  [[nodiscard]] obs::Json stats_snapshot();
+
+  /// Flushes buffered observability: the partial series window is
+  /// appended and the events stream is flushed to disk. Called before a
+  /// drained daemon writes its final artifacts, so SIGINT loses nothing.
+  void flush_observability();
+
  private:
   struct Inflight {
     std::mutex mutex;
@@ -124,10 +163,28 @@ class Server {
     std::string payload_text;
   };
 
-  /// Executes (or waits out) a request that missed the cache.
-  Reply execute_or_join(const Request& request, const std::string& id);
+  /// resolve() with an explicit receive timestamp (seconds on the
+  /// server's uptime clock): queue-wait is measured from `received` to
+  /// the moment a worker picks the request up.
+  Reply resolve_received(const Request& request, double received);
+  /// Executes (or waits out) a request that missed the cache. Reports
+  /// the dedup outcome ("miss" when this call executed, "inflight" when
+  /// it joined another execution) and the execution wall time.
+  Reply execute_or_join(const Request& request, const std::string& id,
+                        const char** outcome, double* execute_seconds);
+  /// Answers a stats request from memory (never cached, never ledgered,
+  /// excluded from requests_served() and the latency histograms).
+  Reply stats_reply();
   void append_ledger(const Request& request, const Reply& reply,
                      double wall_seconds);
+  /// Records one served request into the histograms, per-kind counters,
+  /// series windows and the events log. `received` is on the uptime
+  /// clock; nullopt stage durations are stages the request skipped.
+  void observe_request(const Request& request, const Reply& reply,
+                       const char* outcome, double received,
+                       std::optional<double> queue_wait_seconds,
+                       std::optional<double> execute_seconds);
+  [[nodiscard]] long inflight_count();
 
   ServerOptions options_;
   obs::MetricsRegistry* metrics_;
@@ -141,6 +198,25 @@ class Server {
   std::mutex ledger_mutex_;
   mutable std::mutex served_mutex_;
   long requests_served_ = 0;
+
+  // --- observability ---
+  Stopwatch uptime_;
+  obs::ShardedHistogram queue_wait_ns_;
+  obs::ShardedHistogram execute_ns_;
+  obs::ShardedHistogram end_to_end_ns_;
+  std::atomic<long> queue_depth_{0};  ///< socket backlog / inbox depth
+  /// Served-request counts indexed by RequestKind. Plain atomics, not
+  /// registry counters: this is on the per-request hot path, where a
+  /// string-keyed map lookup would dominate the whole observe cost.
+  std::atomic<long> kind_counts_[4] = {};
+
+  std::mutex events_mutex_;
+  std::ofstream events_out_;
+
+  std::mutex series_mutex_;
+  double window_start_ = 0.0;
+  long window_requests_ = 0;
+  long window_cache_hits_ = 0;
 };
 
 }  // namespace xlp::svc

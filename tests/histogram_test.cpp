@@ -1,0 +1,178 @@
+// Tests of the log-bucketed latency histogram: quantiles match the
+// sorted-vector nearest-rank reference exactly in the exact range and
+// within the documented relative error above it, merge is commutative
+// counter addition (so per-thread recording is byte-deterministic at any
+// thread count and merge order), and the "xlp-hist/1" serialization is
+// byte-stable with a deterministic mode that zeroes value-derived fields.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace xlp::obs {
+namespace {
+
+/// The historical sort-based percentile the simulator used: the value at
+/// rank floor(q * (n - 1)) of the sorted samples.
+long sorted_reference(std::vector<long> values, double q) {
+  std::sort(values.begin(), values.end());
+  const auto idx =
+      static_cast<std::size_t>(q * static_cast<double>(values.size() - 1));
+  return values[idx];
+}
+
+TEST(Histogram, EmptyHistogramReportsZeroes) {
+  Histogram hist;
+  EXPECT_EQ(hist.count(), 0);
+  EXPECT_EQ(hist.min(), 0);
+  EXPECT_EQ(hist.max(), 0);
+  EXPECT_EQ(hist.sum(), 0);
+  EXPECT_DOUBLE_EQ(hist.mean(), 0.0);
+  EXPECT_EQ(hist.value_at_quantile(0.5), 0);
+}
+
+TEST(Histogram, ExactRangeQuantilesMatchSortedReference) {
+  Rng rng(7);
+  std::vector<long> values;
+  Histogram hist(12);  // exact below 4096
+  for (int i = 0; i < 5000; ++i) {
+    const long v = static_cast<long>(rng.uniform_int(0, 4095));
+    values.push_back(v);
+    hist.record(v);
+  }
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0})
+    EXPECT_EQ(hist.value_at_quantile(q), sorted_reference(values, q))
+        << "q=" << q;
+  EXPECT_EQ(hist.min(), *std::min_element(values.begin(), values.end()));
+  EXPECT_EQ(hist.max(), *std::max_element(values.begin(), values.end()));
+}
+
+TEST(Histogram, LogRangeQuantilesStayWithinRelativeError) {
+  Rng rng(11);
+  std::vector<long> values;
+  Histogram hist(7);  // exact below 128, ~1.6% relative error above
+  for (int i = 0; i < 20000; ++i) {
+    const long v = static_cast<long>(rng.uniform_int(1, 50'000'000));
+    values.push_back(v);
+    hist.record(v);
+  }
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const long reference = sorted_reference(values, q);
+    const long measured = hist.value_at_quantile(q);
+    // The bucket's lowest equivalent value is below the true value by at
+    // most one bucket width = 2^-(bits-1) relative.
+    EXPECT_LE(measured, reference);
+    EXPECT_GE(static_cast<double>(measured),
+              static_cast<double>(reference) * (1.0 - 1.0 / 64.0));
+  }
+  // Extrema are tracked exactly regardless of bucketing.
+  EXPECT_EQ(hist.max(), *std::max_element(values.begin(), values.end()));
+  EXPECT_EQ(hist.min(), *std::min_element(values.begin(), values.end()));
+}
+
+TEST(Histogram, MergeIsOrderAndPartitionInvariant) {
+  // Record one stream whole, then split across 2 / 7 shards and merge in
+  // different orders: every serialization must be byte-identical.
+  Rng rng(3);
+  std::vector<long> values;
+  for (int i = 0; i < 3000; ++i)
+    values.push_back(static_cast<long>(rng.uniform_int(0, 1'000'000)));
+
+  Histogram whole(10);
+  for (const long v : values) whole.record(v);
+
+  for (const int shards : {2, 7}) {
+    std::vector<Histogram> parts(static_cast<std::size_t>(shards),
+                                 Histogram(10));
+    for (std::size_t i = 0; i < values.size(); ++i)
+      parts[i % static_cast<std::size_t>(shards)].record(values[i]);
+
+    Histogram forward(10);
+    for (const auto& part : parts) forward.merge(part);
+    Histogram backward(10);
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it)
+      backward.merge(*it);
+
+    EXPECT_EQ(forward.to_json().dump(), whole.to_json().dump());
+    EXPECT_EQ(backward.to_json().dump(), whole.to_json().dump());
+  }
+}
+
+TEST(Histogram, SerializationIsByteStableAndDeterministicModeZeroes) {
+  Histogram hist(4);
+  hist.record(3);
+  hist.record(3);
+  hist.record(40);
+  const std::string text = hist.to_json().dump();
+  EXPECT_EQ(text,
+            "{\"schema\":\"xlp-hist/1\",\"sub_bucket_bits\":4,\"count\":3,"
+            "\"min\":3,\"max\":40,\"sum\":46,"
+            "\"mean\":15.333333333333334,"
+            "\"p50\":3,\"p90\":3,\"p99\":3,"
+            "\"buckets\":[[3,2],[40,1]]}");
+
+  // Deterministic mode: structural fields and the count survive, every
+  // value-derived field zeroes — same document for any recorded values.
+  Histogram other(4);
+  other.record(1000);
+  other.record(2);
+  other.record(7);
+  EXPECT_EQ(hist.to_json(true).dump(), other.to_json(true).dump());
+  EXPECT_EQ(hist.to_json(true).dump(),
+            "{\"schema\":\"xlp-hist/1\",\"sub_bucket_bits\":4,\"count\":3,"
+            "\"min\":0,\"max\":0,\"sum\":0,\"mean\":0,"
+            "\"p50\":0,\"p90\":0,\"p99\":0,\"buckets\":[]}");
+}
+
+TEST(Histogram, MergeAcrossLayoutsPreservesCountSumAndExtrema) {
+  Histogram coarse(4);
+  Histogram fine(12);
+  fine.record(5);
+  fine.record(300);
+  fine.record(70'000);
+  coarse.record(17);
+  coarse.merge(fine);
+  EXPECT_EQ(coarse.count(), 4);
+  EXPECT_EQ(coarse.sum(), 5 + 300 + 70'000 + 17);
+  EXPECT_EQ(coarse.min(), 5);
+  EXPECT_EQ(coarse.max(), 70'000);
+}
+
+TEST(ShardedHistogram, ConcurrentRecordingSnapshotsDeterministically) {
+  // The same multiset of values recorded from 1 / 4 / 8 threads must
+  // snapshot to byte-identical JSON: shard assignment only partitions the
+  // counters, and merging is commutative addition.
+  std::vector<long> values;
+  Rng rng(19);
+  for (int i = 0; i < 8000; ++i)
+    values.push_back(static_cast<long>(rng.uniform_int(0, 250'000)));
+
+  std::string reference;
+  for (const int threads : {1, 4, 8}) {
+    ShardedHistogram sharded(10);
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&values, &sharded, t, threads] {
+        for (std::size_t i = static_cast<std::size_t>(t); i < values.size();
+             i += static_cast<std::size_t>(threads))
+          sharded.record(values[i]);
+      });
+    }
+    for (auto& worker : pool) worker.join();
+
+    EXPECT_EQ(sharded.count(), static_cast<long>(values.size()));
+    const std::string text = sharded.snapshot().to_json().dump();
+    if (reference.empty()) reference = text;
+    EXPECT_EQ(text, reference) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace xlp::obs

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -375,6 +377,124 @@ TEST(Server, AppendsOneLedgerRecordPerRequestWithCacheHit) {
     EXPECT_EQ(record.find("subcommand")->as_string(), "svc");
   }
   EXPECT_EQ(hits, 1);  // exactly the duplicate occurrence
+}
+
+// ------------------------------------------------------------ observability
+
+TEST(Server, EmitsOneLifecycleEventPerRequestWithOutcomes) {
+  const std::string dir = fresh_dir("events");
+  obs::MetricsRegistry metrics;
+  ServerOptions options = test_options(dir + "/cache", &metrics, 2);
+  options.events_path = dir + "/server-events.jsonl";
+  Server server(options);
+  (void)server.serve_batch(duplicate_solves(3));   // miss + 2 batch dups
+  (void)server.serve_batch(duplicate_solves(1));   // cache hit
+
+  const auto text = util::read_file(options.events_path);
+  ASSERT_TRUE(text.has_value());
+  std::vector<obs::Json> events;
+  std::istringstream in(*text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto record = obs::Json::parse(line);
+    ASSERT_TRUE(record.has_value()) << line;
+    events.push_back(std::move(*record));
+  }
+  ASSERT_EQ(events.size(), 4u);  // exactly one line per request served
+
+  std::map<std::string, int> outcomes;
+  for (const obs::Json& event : events) {
+    // svc-events/1 contract: every record carries the full field set.
+    ASSERT_NE(event.find("schema"), nullptr);
+    EXPECT_EQ(event.find("schema")->as_string(), kEventsSchema);
+    for (const char* key : {"request_id", "kind", "outcome", "ok",
+                            "received_s", "queue_wait_ns", "execute_ns",
+                            "end_to_end_ns"})
+      EXPECT_NE(event.find(key), nullptr) << key;
+    EXPECT_EQ(event.find("kind")->as_string(), "solve");
+    EXPECT_TRUE(event.find("ok")->as_bool());
+    ++outcomes[event.find("outcome")->as_string()];
+  }
+  EXPECT_EQ(outcomes["miss"], 1);
+  EXPECT_EQ(outcomes["batch"], 2);
+  EXPECT_EQ(outcomes["cache"], 1);
+}
+
+TEST(Server, StatsSnapshotIsConsistentWithServedRequests) {
+  obs::MetricsRegistry metrics;
+  Server server(test_options(fresh_dir("stats"), &metrics, 2));
+  (void)server.serve_batch(duplicate_solves(3));
+  (void)server.serve_batch(duplicate_solves(1));
+
+  const obs::Json snapshot = server.stats_snapshot();
+  ASSERT_NE(snapshot.find("latency"), nullptr);
+  const obs::Json* e2e = snapshot.find("latency")->find("end_to_end");
+  ASSERT_NE(e2e, nullptr);
+  // The core invariant: exactly one end-to-end sample per request served,
+  // whatever the dedup outcome.
+  EXPECT_EQ(static_cast<long>(e2e->find("count")->as_number()),
+            server.requests_served());
+  EXPECT_EQ(static_cast<long>(
+                snapshot.find("requests_served")->as_number()),
+            4);
+  EXPECT_EQ(static_cast<long>(
+                snapshot.find("kinds")->find("solve")->as_number()),
+            4);
+  const obs::Json* dedup = snapshot.find("dedup");
+  ASSERT_NE(dedup, nullptr);
+  EXPECT_EQ(static_cast<long>(dedup->find("executed")->as_number()), 1);
+  EXPECT_EQ(static_cast<long>(dedup->find("batch_hits")->as_number()), 2);
+  EXPECT_EQ(static_cast<long>(dedup->find("cache_hits")->as_number()), 1);
+  EXPECT_DOUBLE_EQ(dedup->find("hit_rate")->as_number(), 0.75);
+  // Execution histogram counts only real executions.
+  EXPECT_EQ(static_cast<long>(snapshot.find("latency")
+                                  ->find("execute")
+                                  ->find("count")
+                                  ->as_number()),
+            1);
+}
+
+TEST(Server, StatsRequestIsAnsweredFromMemoryOverBothEntryPoints) {
+  obs::MetricsRegistry metrics;
+  Server server(test_options(fresh_dir("statsreq"), &metrics, 2));
+  (void)server.serve_batch(duplicate_solves(2));
+  const long executed_before = metrics.counter("svc.executed");
+  const long served_before = server.requests_served();
+
+  // Object document (what `xlp top` sends over the socket transport).
+  const std::string reply_text = server.serve_text(stats_request_text());
+  const auto reply = obs::Json::parse(reply_text);
+  ASSERT_TRUE(reply.has_value());
+  const obs::Json* result = reply->find("result");
+  ASSERT_NE(result, nullptr) << reply_text;
+  EXPECT_EQ(result->find("kind")->as_string(), "stats");
+  EXPECT_EQ(static_cast<long>(result->find("requests_served")->as_number()),
+            served_before);
+
+  // Inside a batch: the stats element is answered in place while the rest
+  // of the batch is served normally.
+  Request probe;
+  probe.kind = RequestKind::kStats;
+  std::vector<Request> batch = duplicate_solves(1);
+  batch.push_back(probe);
+  const auto replies = server.serve_batch(batch);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_TRUE(replies[1].ok);
+  EXPECT_NE(replies[1].payload_text.find("\"kind\":\"stats\""),
+            std::string::npos);
+
+  // Stats probes never execute, never count as served, never enter the
+  // latency histograms — only the solve in the second batch did.
+  EXPECT_EQ(metrics.counter("svc.executed"), executed_before);
+  EXPECT_EQ(server.requests_served(), served_before + 1);
+  EXPECT_EQ(metrics.counter("svc.stats"), 2);
+  const obs::Json snapshot = server.stats_snapshot();
+  EXPECT_EQ(static_cast<long>(snapshot.find("latency")
+                                  ->find("end_to_end")
+                                  ->find("count")
+                                  ->as_number()),
+            server.requests_served());
 }
 
 // ------------------------------------------------------------------- client

@@ -9,6 +9,9 @@
 //
 //   min_ns / median_ns / mean_ns    lower is better
 //   *_per_sec                       higher is better
+//   *_p99_ns                        lower is better (tail latencies the
+//                                   benchmark body measured itself via
+//                                   BenchRun::set_time_ns)
 //
 // Anything else under "metrics" is informational and printed but never
 // gates. Exit code 0 when no tracked metric regressed by more than the
@@ -100,7 +103,8 @@ bool parse_suite(const std::string& path, SuiteMetrics& out) {
       for (const auto& [key, value] : m->members()) {
         if (!value.is_number()) continue;
         const bool rate = ends_with(key, "_per_sec");
-        metrics[key] = {value.as_number(), rate, rate};
+        const bool tail = ends_with(key, "_p99_ns");
+        metrics[key] = {value.as_number(), rate || tail, rate};
       }
     }
   }

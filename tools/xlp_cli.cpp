@@ -29,7 +29,15 @@
 //                 [--moves 10000] [--base-flit 256] [--seed 1])
 //                 (--queue <dir> [--wait 60] [--name <id>] | --socket <path>)
 //                 (submits a request batch to a running `xlpd` — see
-//                 docs/service.md — and prints the reply document)
+//                 docs/service.md — and prints the reply document; a
+//                 per-request summary with wall time and HIT/MISS markers
+//                 goes to stderr, and the exit code is 1 when any request
+//                 in the batch errored)
+//   xlp top       <socket> [--interval 1] [--once]
+//                 (live refreshing view of a running `xlpd`: uptime,
+//                 request counts, dedup funnel, cache occupancy, worker
+//                 utilization and queue-wait/execution/end-to-end latency
+//                 quantiles, polled via `stats` requests)
 //
 // Telemetry (see docs/observability.md):
 //   --trace <file.jsonl>   structured JSONL trace (SA cooling steps on
@@ -86,6 +94,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/app_specific.hpp"
 #include "harness.hpp"
@@ -132,7 +141,7 @@ constexpr int kExitInterrupted = 130;
 int usage() {
   std::fprintf(stderr,
                "usage: xlp <solve|sweep|simulate|trace|replay|appspec|run|"
-               "faults|bench|report|submit> "
+               "faults|bench|report|submit|top> "
                "[options]\n(see the header of tools/xlp_cli.cpp for the "
                "full option list)\n");
   return kExitUsage;
@@ -865,23 +874,47 @@ int cmd_report(const Args& args) {
   return 0;
 }
 
+/// One stderr summary line for a reply element: request id, HIT/MISS
+/// marker, ok/error, and the wall time when the caller measured one.
+/// Returns false when the reply is an error reply.
+bool summarize_reply(const obs::Json& reply, std::size_t index,
+                     std::size_t total, double wall_seconds) {
+  const obs::Json* id = reply.find("request_id");
+  const obs::Json* hit = reply.find("cache_hit");
+  const obs::Json* error = reply.find("error");
+  char wall[32] = "";
+  if (wall_seconds >= 0.0)
+    std::snprintf(wall, sizeof(wall), " %.1fms", wall_seconds * 1e3);
+  std::fprintf(stderr, "  [%zu/%zu] %s %s%s%s%s\n", index + 1, total,
+               id != nullptr && id->is_string() ? id->as_string().c_str()
+                                                : "?",
+               hit != nullptr && hit->as_bool() ? "HIT " : "MISS", wall,
+               error != nullptr ? " ERROR: " : " ok",
+               error != nullptr ? error->as_string().c_str() : "");
+  return error == nullptr;
+}
+
 /// Client side of the service (docs/service.md): builds or loads a
 /// submission document and sends it to a running `xlpd` over the file
 /// queue or the local socket, then prints the reply document. The
 /// canonical driver-as-client flow is `--sweep-n`, which submits the same
 /// per-limit solves `xlp sweep` would run in-process — resubmitting the
 /// sweep is answered from the server's cache without re-annealing.
+///
+/// The reply document goes to stdout (pipeable); a per-request summary
+/// with HIT/MISS markers goes to stderr. Over the socket, each request of
+/// an array submission is sent as its own frame on one connection, so
+/// every summary line carries that request's true wall time. Exits 1 when
+/// any request in the batch errored.
 int cmd_submit(const Args& args) {
   std::string text;
-  long request_count = 0;
+  std::optional<obs::Json> doc;
   if (const std::string file = args.get_or("file", ""); !file.empty()) {
     const auto loaded = util::read_file(file);
     XLP_REQUIRE(loaded.has_value(), "cannot read " + file);
     text = *loaded;
-    const auto doc = obs::Json::parse(text);
+    doc = obs::Json::parse(text);
     XLP_REQUIRE(doc.has_value(), "not valid JSON: " + file);
-    request_count =
-        doc->is_array() ? static_cast<long>(doc->size()) : 1;
   } else {
     const int n = static_cast<int>(args.get_long("sweep-n", 0));
     XLP_REQUIRE(n > 0, "either --file <batch.json> or --sweep-n <n>");
@@ -890,8 +923,10 @@ int cmd_submit(const Args& args) {
         static_cast<std::uint64_t>(args.get_long("seed", 1)),
         static_cast<int>(args.get_long("base-flit", topo::kBaseFlitBits)));
     text = svc::batch_to_text(batch);
-    request_count = static_cast<long>(batch.size());
+    doc = obs::Json::parse(text);
   }
+  const long request_count =
+      doc->is_array() ? static_cast<long>(doc->size()) : 1;
 
   const std::string queue_dir = args.get_or("queue", "");
   const std::string socket_path = args.get_or("socket", "");
@@ -904,29 +939,194 @@ int cmd_submit(const Args& args) {
                         .set("requests", request_count),
                     static_cast<std::uint64_t>(args.get_long("seed", 1)));
 
+  Stopwatch wall;
   std::string reply;
-  if (!socket_path.empty()) {
-    auto answered = svc::socket_submit(socket_path, text);
+  long errors = 0;
+  long hits = 0;
+  const auto tally = [&errors, &hits](const obs::Json& element, bool ok) {
+    if (!ok) ++errors;
+    const obs::Json* hit = element.find("cache_hit");
+    if (hit != nullptr && hit->as_bool()) ++hits;
+  };
+
+  if (!socket_path.empty() && doc->is_array()) {
+    // One frame per request over a single connection: every request gets
+    // an individually measured round-trip wall time, and the concatenated
+    // replies are byte-identical to a whole-batch submission (duplicates
+    // become result-cache hits instead of within-batch dedup hits, which
+    // serialize the same).
+    svc::SocketClient client(socket_path);
+    if (!client.ok())
+      throw Error(ErrorCode::kIo, "no xlpd reachable at " + socket_path);
+    reply = "[";
+    for (std::size_t i = 0; i < doc->size(); ++i) {
+      Stopwatch request_wall;
+      auto answered = client.submit(doc->at(i).dump());
+      if (!answered)
+        throw Error(ErrorCode::kIo,
+                    "connection to " + socket_path + " broke mid-batch");
+      const double seconds = request_wall.seconds();
+      if (i > 0) reply += ",";
+      reply += *answered;
+      const auto parsed = obs::Json::parse(*answered);
+      if (parsed)
+        tally(*parsed, summarize_reply(*parsed, i, doc->size(), seconds));
+    }
+    reply += "]";
+  } else {
+    if (!socket_path.empty()) {
+      auto answered = svc::socket_submit(socket_path, text);
+      if (!answered)
+        throw Error(ErrorCode::kIo, "no xlpd reachable at " + socket_path);
+      reply = std::move(*answered);
+    } else {
+      // Name the submission by its content hash so resubmitting the same
+      // batch never piles up distinct queue files.
+      const std::string name =
+          args.get_or("name", obs::fnv1a64_hex(text));
+      if (!svc::queue_submit(queue_dir, name, text))
+        throw Error(ErrorCode::kIo, "cannot submit into " + queue_dir);
+      auto answered =
+          svc::queue_wait(queue_dir, name, args.get_double("wait", 60.0));
+      if (!answered)
+        throw Error(ErrorCode::kIo,
+                    "timed out waiting for a reply in " + queue_dir +
+                        "/outbox (is xlpd --queue running?)");
+      reply = std::move(*answered);
+    }
+    // Whole-document transports: summarize each reply element without a
+    // per-request wall time (the batch is answered as one unit).
+    if (const auto parsed = obs::Json::parse(reply); parsed) {
+      if (parsed->is_array()) {
+        for (std::size_t i = 0; i < parsed->size(); ++i)
+          tally(parsed->at(i),
+                summarize_reply(parsed->at(i), i, parsed->size(), -1.0));
+      } else {
+        tally(*parsed, summarize_reply(*parsed, 0, 1, -1.0));
+      }
+    }
+  }
+
+  std::printf("%s\n", reply.c_str());
+  std::fprintf(stderr,
+               "submit: %ld request%s, %ld cache hit%s, %ld error%s in "
+               "%.1fms\n",
+               request_count, request_count == 1 ? "" : "s", hits,
+               hits == 1 ? "" : "s", errors, errors == 1 ? "" : "s",
+               wall.seconds() * 1e3);
+  return errors > 0 ? 1 : 0;
+}
+
+/// Formats a nanosecond latency into a compact human unit.
+std::string format_ns(double ns) {
+  char buf[32];
+  if (ns < 1e3) std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  else if (ns < 1e6) std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  else if (ns < 1e9) std::snprintf(buf, sizeof(buf), "%.1fms", ns / 1e6);
+  else std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  return buf;
+}
+
+/// Live refreshing terminal view of a running socket `xlpd`, rendered
+/// from the server's `stats` snapshot (docs/service.md): uptime, request
+/// and dedup-funnel counts, cache occupancy, worker utilization, and
+/// p50/p90/p99/max for the queue-wait / execution / end-to-end latency
+/// histograms. `--once` prints a single snapshot and exits (scripting /
+/// smoke tests); otherwise the view refreshes every `--interval` seconds
+/// until SIGINT.
+int cmd_top(const Args& args) {
+  XLP_REQUIRE(!args.positional().empty(),
+              "usage: xlp top <socket> [--interval <sec>] [--once]");
+  const std::string socket_path = args.positional().front();
+  const double interval = std::max(args.get_double("interval", 1.0), 0.05);
+  const bool once = args.has("once");
+  const std::string probe = svc::stats_request_text();
+
+  const auto num = [](const obs::Json* doc, const char* key) {
+    const obs::Json* value = doc != nullptr ? doc->find(key) : nullptr;
+    return value != nullptr && value->is_number() ? value->as_number() : 0.0;
+  };
+
+  double prev_served = -1.0;
+  double prev_uptime = 0.0;
+  while (true) {
+    auto answered = svc::socket_submit(socket_path, probe);
     if (!answered)
       throw Error(ErrorCode::kIo, "no xlpd reachable at " + socket_path);
-    reply = std::move(*answered);
-  } else {
-    // Name the submission by its content hash so resubmitting the same
-    // batch never piles up distinct queue files.
-    const std::string name =
-        args.get_or("name", obs::fnv1a64_hex(text));
-    if (!svc::queue_submit(queue_dir, name, text))
-      throw Error(ErrorCode::kIo, "cannot submit into " + queue_dir);
-    auto answered =
-        svc::queue_wait(queue_dir, name, args.get_double("wait", 60.0));
-    if (!answered)
-      throw Error(ErrorCode::kIo,
-                  "timed out waiting for a reply in " + queue_dir +
-                      "/outbox (is xlpd --queue running?)");
-    reply = std::move(*answered);
+    const auto reply = obs::Json::parse(*answered);
+    XLP_REQUIRE(reply.has_value(), "malformed reply from " + socket_path);
+    const obs::Json* stats = reply->find("result");
+    if (stats == nullptr) {
+      const obs::Json* error = reply->find("error");
+      throw Error(ErrorCode::kState,
+                  error != nullptr && error->is_string()
+                      ? error->as_string()
+                      : "daemon did not answer the stats request");
+    }
+
+    const double uptime = num(stats, "uptime_seconds");
+    const double served = num(stats, "requests_served");
+    const double rate = prev_served >= 0.0 && uptime > prev_uptime
+                            ? (served - prev_served) / (uptime - prev_uptime)
+                            : 0.0;
+    prev_served = served;
+    prev_uptime = uptime;
+
+    const obs::Json* kinds = stats->find("kinds");
+    const obs::Json* dedup = stats->find("dedup");
+    const obs::Json* cache = stats->find("cache");
+    const obs::Json* workers = stats->find("workers");
+    const obs::Json* latency = stats->find("latency");
+
+    if (!once) std::printf("\033[2J\033[H");  // clear + home
+    std::printf("xlpd @ %s — up %.1fs\n", socket_path.c_str(), uptime);
+    std::printf(
+        "requests  %.0f served (%.1f/s)   stats polls %.0f   queue depth "
+        "%.0f   in-flight %.0f\n",
+        served, rate, num(stats, "stats_requests"),
+        num(stats, "queue_depth"), num(stats, "inflight"));
+    std::printf("kinds     solve %.0f   evaluate %.0f   simulate %.0f\n",
+                num(kinds, "solve"), num(kinds, "evaluate"),
+                num(kinds, "simulate"));
+    std::printf(
+        "dedup     cache %.0f   inflight %.0f   batch %.0f   executed %.0f "
+        "  errors %.0f   hit rate %.1f%%\n",
+        num(dedup, "cache_hits"), num(dedup, "inflight_hits"),
+        num(dedup, "batch_hits"), num(dedup, "executed"),
+        num(dedup, "errors"), num(dedup, "hit_rate") * 100.0);
+    std::printf("cache     %.0f/%.0f entries   %.0f evictions\n",
+                num(cache, "entries"), num(cache, "capacity"),
+                num(cache, "evictions"));
+    std::printf("workers   %.0f threads   %.1f%% utilized   busy %.1fs\n",
+                num(workers, "threads"),
+                num(workers, "utilization") * 100.0,
+                num(workers, "busy_seconds"));
+    std::printf("%-12s %10s %10s %10s %10s %10s\n", "latency", "count",
+                "p50", "p90", "p99", "max");
+    for (const auto& [label, key] :
+         {std::pair<const char*, const char*>{"queue wait", "queue_wait"},
+          {"execute", "execute"},
+          {"end-to-end", "end_to_end"}}) {
+      const obs::Json* hist =
+          latency != nullptr ? latency->find(key) : nullptr;
+      std::printf("  %-10s %10.0f %10s %10s %10s %10s\n", label,
+                  num(hist, "count"), format_ns(num(hist, "p50")).c_str(),
+                  format_ns(num(hist, "p90")).c_str(),
+                  format_ns(num(hist, "p99")).c_str(),
+                  format_ns(num(hist, "max")).c_str());
+    }
+    std::fflush(stdout);
+
+    if (once) return 0;
+    // Sleep in short slices so SIGINT quits the view promptly.
+    double remaining = interval;
+    while (remaining > 0.0 && !g_cancel_token.cancelled()) {
+      const double slice = std::min(remaining, 0.05);
+      std::this_thread::sleep_for(std::chrono::duration<double>(slice));
+      remaining -= slice;
+    }
+    if (g_cancel_token.cancelled()) return 0;
   }
-  std::printf("%s\n", reply.c_str());
-  return 0;
 }
 
 }  // namespace
@@ -964,6 +1164,7 @@ int main(int argc, char** argv) {
     else if (command == "bench") rc = cmd_bench(args);
     else if (command == "report") rc = cmd_report(args);
     else if (command == "submit") rc = cmd_submit(args);
+    else if (command == "top") rc = cmd_top(args);
     else return usage();
 
     // Global telemetry flag: dump the process-wide metrics registry

@@ -29,6 +29,21 @@
 //                                with cache_hit
 //   --no-ledger                  disable the ledger
 //
+// Observability (docs/observability.md, docs/service.md):
+//   --events <file.jsonl>        append one svc-events/1 lifecycle record
+//                                per request served (stages + durations)
+//   --series <file.json>         operational time series (requests/sec,
+//                                queue depth, in-flight, cache hit rate),
+//                                written on exit
+//   --series-window <sec>        seconds per series sample (default 1)
+//   --stats-json <file.json>     final stats snapshot (the same document
+//                                a `stats` request returns), written on
+//                                exit
+//   --no-observe                 disable latency histograms / series
+//
+// All exit artifacts (metrics, series, stats snapshot) are flushed on the
+// SIGINT drain path too, so a killed daemon leaves complete telemetry.
+//
 // Exit codes: 0 success, 1 domain failure, 2 usage error, 130 when a
 // SIGINT/SIGTERM drained the server.
 
@@ -37,6 +52,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "runctl/control.hpp"
 #include "svc/server.hpp"
 #include "util/args.hpp"
@@ -56,7 +72,9 @@ int usage() {
                "<path>) [--cache-dir <dir>] [--cache-entries <n>] "
                "[--threads <n>] [--request-time-limit <sec>] [--once] "
                "[--poll-seconds <sec>] [--out <file>] [--metrics <file>] "
-               "[--out-dir <dir>] [--no-ledger]\n");
+               "[--out-dir <dir>] [--no-ledger] [--events <file.jsonl>] "
+               "[--series <file.json>] [--series-window <sec>] "
+               "[--stats-json <file.json>] [--no-observe]\n");
   return kExitUsage;
 }
 
@@ -82,6 +100,15 @@ int serve(const Args& args) {
     options.ledger_path = (std::filesystem::path(args.get_or("out-dir", ".")) /
                            "ledger.jsonl")
                               .string();
+
+  options.observe = !args.has("no-observe");
+  options.events_path = args.get_or("events", "");
+  options.series_window = args.get_double("series-window", 1.0);
+  const std::string series_path = args.get_or("series", "");
+  const std::string stats_path = args.get_or("stats-json", "");
+  obs::SeriesRecorder series;
+  if (!series_path.empty()) options.series = &series;
+
   svc::Server server(options);
   std::fprintf(stderr, "xlpd: cache %s (%zu entries loaded)\n",
                server.cache().dir().c_str(), server.cache().size());
@@ -106,6 +133,17 @@ int serve(const Args& args) {
     if (!server.run_socket(socket_path))
       throw Error(ErrorCode::kIo, "cannot listen on " + socket_path);
   }
+
+  // Final artifacts are written on every serve() return, including the
+  // SIGINT drain (run_queue / run_socket return normally after draining):
+  // a killed daemon still leaves complete series / stats / events files.
+  server.flush_observability();
+  if (!series_path.empty() && !series.write_json_file(series_path))
+    std::fprintf(stderr, "warning: could not write %s\n", series_path.c_str());
+  if (!stats_path.empty() &&
+      !util::atomic_write_file(stats_path,
+                               server.stats_snapshot().dump() + "\n"))
+    std::fprintf(stderr, "warning: could not write %s\n", stats_path.c_str());
 
   std::fprintf(stderr, "xlpd: %ld request%s served (%ld executed, %ld cache "
                        "hits)\n",
