@@ -352,6 +352,77 @@ void register_svc() {
                                            metrics_off.counter(
                                                "svc.executed")));
                  });
+  // Checksum-verification overhead on the cache-hit hot path, measured as
+  // a pair inside one body: two caches holding the same realistic payload
+  // (one solve result), one re-verifying the FNV-1a checksum on every
+  // get() (the default — what turns bit rot into quarantine-and-recompute
+  // instead of a wrong byte served) and one trusting memory. Alternating
+  // lookups cancel clock drift; the p50 gap is the cost of one FNV pass
+  // over a small JSON document and must stay in the noise (the acceptance
+  // bar for leaving verification on in production).
+  register_bench("svc", "cache_hit_verify_pair", "smoke",
+                 [](BenchRun& run) {
+                   svc::Request request;
+                   request.kind = svc::RequestKind::kSolve;
+                   request.n = 8;
+                   request.link_limit = 4;
+                   request.moves = 300;
+                   const std::string id = request.id();
+                   obs::MetricsRegistry metrics;
+                   svc::Server seed_server([&] {
+                     svc::ServerOptions options;
+                     options.cache_dir =
+                         (fs::temp_directory_path() / "xlp_bench_svc_seed")
+                             .string();
+                     fs::remove_all(options.cache_dir);
+                     options.metrics = &metrics;
+                     return options;
+                   }());
+                   const std::string payload =
+                       seed_server.resolve(request).payload_text;
+                   const auto fresh_cache = [&](const char* name,
+                                                bool verify) {
+                     const std::string dir =
+                         (fs::temp_directory_path() / name).string();
+                     fs::remove_all(dir);
+                     auto cache = std::make_unique<svc::ResultCache>(
+                         dir, 64, &metrics, verify);
+                     cache->put(id, payload);
+                     return cache;
+                   };
+                   const auto verified =
+                       fresh_cache("xlp_bench_svc_vfy", true);
+                   const auto unverified =
+                       fresh_cache("xlp_bench_svc_raw", false);
+                   constexpr int kIters = 2000;
+                   obs::Histogram verified_ns(14), unverified_ns(14);
+                   const auto timed_get = [&](svc::ResultCache& cache,
+                                              obs::Histogram& hist) {
+                     Stopwatch get_timer;
+                     const auto hit = cache.get(id);
+                     hist.record(
+                         static_cast<long>(get_timer.seconds() * 1e9));
+                     g_sink = hit ? static_cast<double>(hit->size()) : -1.0;
+                   };
+                   for (int i = 0; i < kIters; ++i) {
+                     timed_get(*verified, verified_ns);
+                     timed_get(*unverified, unverified_ns);
+                   }
+                   run.set_items(2L * kIters);
+                   run.set_rate("lookups", 2.0 * kIters);
+                   run.set_time_ns("verified_p50_ns",
+                                   static_cast<double>(
+                                       verified_ns.value_at_quantile(0.50)));
+                   run.set_time_ns(
+                       "unverified_p50_ns",
+                       static_cast<double>(
+                           unverified_ns.value_at_quantile(0.50)));
+                   run.set_time_ns("verified_p99_ns",
+                                   static_cast<double>(
+                                       verified_ns.value_at_quantile(0.99)));
+                   run.set_counter("payload_bytes",
+                                   static_cast<double>(payload.size()));
+                 });
 }
 
 void register_sim() {

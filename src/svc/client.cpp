@@ -4,14 +4,21 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <system_error>
 #include <thread>
 
+#include "obs/json.hpp"
+#include "svc/envelope.hpp"
 #include "topo/row_topology.hpp"
+#include "util/error.hpp"
 #include "util/fsio.hpp"
+#include "util/rng.hpp"
 
 namespace xlp::svc {
 
@@ -46,26 +53,95 @@ std::string batch_to_text(const std::vector<Request>& batch) {
   return out;
 }
 
+double RetryPolicy::backoff_ms(int attempt) const {
+  const int step = std::max(attempt, 1);
+  const double exponential =
+      std::min(max_ms, base_ms * std::pow(2.0, step - 1));
+  // Jitter is a pure function of (seed, attempt): fork an independent
+  // stream per attempt so the schedule is reproducible yet spread out.
+  Rng base(seed);
+  Rng stream = base.fork(static_cast<std::uint64_t>(step));
+  return exponential * (0.5 + 0.5 * stream.uniform01());
+}
+
+namespace {
+
+bool is_retryable_error_reply(const obs::Json& reply) {
+  if (!reply.is_object()) return false;
+  const obs::Json* error = reply.find("error");
+  if (error == nullptr || !error->is_object()) return false;
+  const obs::Json* retryable = error->find("retryable");
+  return retryable != nullptr &&
+         retryable->type() == obs::Json::Type::kBool &&
+         retryable->as_bool();
+}
+
+}  // namespace
+
+bool reply_has_retryable_error(const std::string& reply_text) {
+  const auto doc = obs::Json::parse(reply_text);
+  if (!doc) return false;
+  if (doc->is_array()) {
+    for (std::size_t i = 0; i < doc->size(); ++i)
+      if (is_retryable_error_reply(doc->at(i))) return true;
+    return false;
+  }
+  return is_retryable_error_reply(*doc);
+}
+
 bool queue_submit(const std::string& queue_dir, const std::string& name,
                   const std::string& text) {
   return util::atomic_write_file(
-      (fs::path(queue_dir) / "inbox" / (name + ".json")).string(), text);
+      (fs::path(queue_dir) / "inbox" / (name + ".json")).string(),
+      wrap_envelope(text));
 }
 
-std::optional<std::string> queue_wait(const std::string& queue_dir,
-                                      const std::string& name,
-                                      double timeout_seconds) {
+std::string queue_wait(const std::string& queue_dir, const std::string& name,
+                       double timeout_seconds) {
   const fs::path reply_path =
       fs::path(queue_dir) / "outbox" / (name + ".json");
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration<double>(timeout_seconds);
+  const fs::path inbox_path =
+      fs::path(queue_dir) / "inbox" / (name + ".json");
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start + std::chrono::duration<double>(timeout_seconds);
   while (true) {
     if (auto text = util::read_file(reply_path.string())) {
-      std::error_code ec;
-      fs::remove(reply_path, ec);
-      return text;
+      std::string payload;
+      switch (unwrap_envelope(*text, &payload)) {
+        case EnvelopeStatus::kOk: {
+          std::error_code ec;
+          fs::remove(reply_path, ec);
+          return payload;
+        }
+        case EnvelopeStatus::kNotEnvelope: {
+          // A pre-envelope server's bare reply document.
+          std::error_code ec;
+          fs::remove(reply_path, ec);
+          return *text;
+        }
+        case EnvelopeStatus::kCorrupt:
+          // A torn or in-progress write: leave it and keep polling — the
+          // server replaces outbox files via atomic rename on its next
+          // pass over the still-present submission.
+          break;
+      }
     }
-    if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      const double elapsed =
+          std::chrono::duration<double>(now - start).count();
+      std::error_code ec;
+      const bool pending = fs::exists(inbox_path, ec);
+      char waited[48];
+      std::snprintf(waited, sizeof(waited), "waited %.1fs", elapsed);
+      throw Error(ErrorCode::kState, "timed out waiting for queue reply")
+          .with_context("request '" + name + "', " + waited)
+          .with_context(pending ? "submission still in inbox — server down "
+                                  "or backlogged"
+                                : "submission was consumed but no reply "
+                                  "arrived");
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
 }
@@ -138,8 +214,20 @@ bool read_frame(int fd, std::string& out) {
 
 }  // namespace
 
-SocketClient::SocketClient(const std::string& socket_path)
-    : fd_(connect_unix(socket_path)) {}
+SocketClient::SocketClient(const std::string& socket_path,
+                           RetryPolicy retry)
+    : socket_path_(socket_path),
+      retry_(retry),
+      fd_(connect_unix(socket_path)) {
+  // Retrying the connect covers the startup race: a client launched
+  // alongside the daemon reaches connect() before the socket is bound.
+  for (int attempt = 1; fd_ < 0 && attempt <= retry_.retries; ++attempt) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(
+            retry_.backoff_ms(attempt)));
+    fd_ = connect_unix(socket_path_);
+  }
+}
 
 SocketClient::~SocketClient() {
   if (fd_ >= 0) ::close(fd_);
@@ -152,6 +240,26 @@ std::optional<std::string> SocketClient::submit(const std::string& text) {
   ::close(fd_);
   fd_ = -1;
   return std::nullopt;
+}
+
+std::optional<std::string> SocketClient::submit_with_retry(
+    const std::string& text) {
+  std::optional<std::string> last;
+  for (int attempt = 0; attempt <= retry_.retries; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(
+              retry_.backoff_ms(attempt)));
+      if (fd_ < 0) fd_ = connect_unix(socket_path_);
+    }
+    if (fd_ < 0) continue;
+    last = submit(text);
+    if (!last) continue;  // transport error; reconnect next attempt
+    if (!reply_has_retryable_error(*last)) return last;
+    // A retryable error reply: resubmitting is safe — the server dedups
+    // by content id, so completed work comes back as a cache hit.
+  }
+  return last;
 }
 
 std::optional<std::string> socket_submit(const std::string& socket_path,

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,18 +29,50 @@ namespace xlp::svc {
 /// array — the reply shape then tells object from array submissions).
 [[nodiscard]] std::string batch_to_text(const std::vector<Request>& batch);
 
-/// Drops a submission into `<queue_dir>/inbox/<name>.json` (atomically, so
-/// the server never reads a torn file). Returns false on write failure.
+/// Bounded exponential backoff with deterministic jitter — the retry
+/// schedule behind `xlp submit --retries/--retry-base-ms` and the socket
+/// client's reconnect loop. Deterministic: backoff_ms(k) is a pure
+/// function of (seed, k), so a retrying test run is reproducible.
+struct RetryPolicy {
+  int retries = 5;         ///< additional attempts after the first (0 = none)
+  double base_ms = 50.0;   ///< delay before the first retry
+  double max_ms = 2000.0;  ///< exponential growth is capped here
+  std::uint64_t seed = 1;  ///< jitter stream
+
+  /// Delay in milliseconds before retry `attempt` (1-based):
+  /// min(max_ms, base_ms * 2^(attempt-1)) scaled by a jitter factor in
+  /// [0.5, 1.0) so synchronized clients fan out instead of stampeding.
+  [[nodiscard]] double backoff_ms(int attempt) const;
+};
+
+/// True when `reply_text` is a reply document (object or array) carrying
+/// at least one `error` with `"retryable":true` — the server's signal that
+/// resubmitting the identical request can succeed (deadline stops,
+/// injected faults, poisoned executions). Malformed text is not retryable.
+[[nodiscard]] bool reply_has_retryable_error(const std::string& reply_text);
+
+/// Drops a submission into `<queue_dir>/inbox/<name>.json`, wrapped in the
+/// xlp-envelope/1 integrity envelope and written atomically — the server
+/// verifies the checksum before trusting a byte of it. Returns false on
+/// write failure.
 [[nodiscard]] bool queue_submit(const std::string& queue_dir,
                                 const std::string& name,
                                 const std::string& text);
 
-/// Polls `<queue_dir>/outbox/<name>.json` until the reply appears, the
-/// timeout elapses, or `cancelled` (optional) returns true. The reply file
-/// is consumed (removed) on success.
-[[nodiscard]] std::optional<std::string> queue_wait(
-    const std::string& queue_dir, const std::string& name,
-    double timeout_seconds);
+/// Polls `<queue_dir>/outbox/<name>.json` until a verified reply appears,
+/// then consumes (removes) the file and returns the reply document. A file
+/// that fails the envelope check is a write in progress or a torn write —
+/// it is left in place and polling continues, because the server rewrites
+/// replies atomically on its next pass. Unwrapped reply files (pre-envelope
+/// servers) are accepted as-is.
+///
+/// Throws Error(kState) when `timeout_seconds` elapses, with context
+/// naming the request, the time waited, and whether the inbox submission
+/// still exists — which distinguishes "server down or backlogged" (file
+/// still there) from "reply lost after consumption".
+[[nodiscard]] std::string queue_wait(const std::string& queue_dir,
+                                     const std::string& name,
+                                     double timeout_seconds);
 
 /// One round trip over the `xlpd` local socket: connect, send the
 /// submission as a length-prefixed frame, read the reply frame. nullopt
@@ -53,8 +86,11 @@ namespace xlp::svc {
 /// snapshot cheaply (`xlp top`) without a connect per request.
 class SocketClient {
  public:
-  /// Connects to the daemon; ok() is false when it is unreachable.
-  explicit SocketClient(const std::string& socket_path);
+  /// Connects to the daemon, retrying per `retry` on connect failure
+  /// (covers the startup race where the client outpaces the daemon's
+  /// bind); ok() is false when every attempt failed.
+  explicit SocketClient(const std::string& socket_path,
+                        RetryPolicy retry = {});
   ~SocketClient();
   SocketClient(const SocketClient&) = delete;
   SocketClient& operator=(const SocketClient&) = delete;
@@ -65,7 +101,20 @@ class SocketClient {
   /// a transport error; the connection is dead afterwards.
   [[nodiscard]] std::optional<std::string> submit(const std::string& text);
 
+  /// submit() behind the retry policy: a transport error (connection
+  /// refused/reset, truncated reply frame) reconnects and resends after
+  /// backoff; a reply carrying a retryable error resubmits the same way.
+  /// Safe because the server deduplicates by content id — a resend of
+  /// already-executed work is a cache hit, byte-identical by contract.
+  /// Returns the last reply (which may still be a non-retryable or
+  /// exhausted-retries error reply), or nullopt when the transport never
+  /// recovered.
+  [[nodiscard]] std::optional<std::string> submit_with_retry(
+      const std::string& text);
+
  private:
+  std::string socket_path_;
+  RetryPolicy retry_;
   int fd_ = -1;
 };
 

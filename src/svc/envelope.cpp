@@ -1,0 +1,47 @@
+#include "svc/envelope.hpp"
+
+#include "obs/canonical.hpp"
+#include "obs/json.hpp"
+
+namespace xlp::svc {
+
+std::string wrap_envelope(const std::string& payload) {
+  std::string out;
+  out.reserve(payload.size() + 96);
+  out += "{\"schema\":\"";
+  out += kEnvelopeSchema;
+  out += "\",\"checksum\":\"";
+  out += obs::fnv1a64_hex(payload);
+  out += "\",\"payload\":\"";
+  out += obs::json_escape(payload);
+  out += "\"}";
+  return out;
+}
+
+EnvelopeStatus unwrap_envelope(const std::string& text, std::string* payload,
+                               std::string* reason) {
+  const auto fail = [reason](const char* why) {
+    if (reason != nullptr) *reason = why;
+    return EnvelopeStatus::kCorrupt;
+  };
+  if (text.empty()) return fail("empty file");
+  const auto doc = obs::Json::parse(text);
+  if (!doc) return fail("truncated or not JSON");
+  if (!doc->is_object()) return EnvelopeStatus::kNotEnvelope;
+  const obs::Json* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kEnvelopeSchema)
+    return EnvelopeStatus::kNotEnvelope;
+  const obs::Json* checksum = doc->find("checksum");
+  if (checksum == nullptr || !checksum->is_string())
+    return fail("missing checksum field");
+  const obs::Json* body = doc->find("payload");
+  if (body == nullptr || !body->is_string())
+    return fail("missing payload field");
+  if (obs::fnv1a64_hex(body->as_string()) != checksum->as_string())
+    return fail("checksum mismatch");
+  if (payload != nullptr) *payload = body->as_string();
+  return EnvelopeStatus::kOk;
+}
+
+}  // namespace xlp::svc

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+
+namespace xlp::svc {
+
+/// Schema identifier of the integrity envelope every persisted service
+/// byte-stream travels in: cache entries, queue submissions and queue
+/// replies.
+inline constexpr const char* kEnvelopeSchema = "xlp-envelope/1";
+
+/// What unwrap_envelope() found.
+enum class EnvelopeStatus {
+  kOk,           ///< checksum verified; payload extracted
+  kNotEnvelope,  ///< valid JSON, but not an xlp-envelope/1 document
+  kCorrupt,      ///< torn, truncated, field-missing or checksum-mismatched
+};
+
+/// Wraps `payload` (arbitrary bytes, typically a JSON document) in the
+/// integrity envelope:
+///
+///   {"schema":"xlp-envelope/1","checksum":"<fnv1a64 hex of payload>",
+///    "payload":"<payload, JSON-escaped>"}
+///
+/// The payload travels as a JSON string, so unwrapping returns the exact
+/// original bytes — the byte-identity contract of the cache survives the
+/// wrapping. FNV-1a 64 is the same content-hash primitive behind request
+/// ids; it detects the torn writes, bit rot and truncations the chaos
+/// suite injects (it is an integrity check, not an authenticity one).
+[[nodiscard]] std::string wrap_envelope(const std::string& payload);
+
+/// Parses `text` and verifies its checksum. On kOk, `payload` receives
+/// the original bytes. On kCorrupt, `reason` (when non-null) names what
+/// failed ("truncated or not JSON", "missing checksum field", "checksum
+/// mismatch", ...). kNotEnvelope means `text` is well-formed JSON of some
+/// other shape — readers that accept legacy unwrapped documents branch on
+/// it.
+[[nodiscard]] EnvelopeStatus unwrap_envelope(const std::string& text,
+                                             std::string* payload,
+                                             std::string* reason = nullptr);
+
+}  // namespace xlp::svc

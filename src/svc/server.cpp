@@ -20,6 +20,8 @@
 #include "obs/metrics.hpp"
 #include "obs/provenance.hpp"
 #include "obs/timeseries.hpp"
+#include "svc/chaos.hpp"
+#include "svc/envelope.hpp"
 #include "util/error.hpp"
 #include "util/fsio.hpp"
 #include "util/parallel.hpp"
@@ -42,9 +44,13 @@ std::string Reply::to_text() const {
     out += ",\"result\":";
     out += payload_text;  // canonical payload bytes, spliced verbatim
   } else {
-    out += ",\"error\":\"";
+    out += ",\"error\":{\"kind\":\"";
+    out += obs::json_escape(error_kind);
+    out += "\",\"retryable\":";
+    out += retryable ? "true" : "false";
+    out += ",\"message\":\"";
     out += obs::json_escape(payload_text);
-    out += "\"";
+    out += "\"}";
   }
   out += "}";
   return out;
@@ -103,13 +109,16 @@ Reply Server::resolve_received(const Request& request, double received) {
   reply.request_id = id;
   const char* outcome = "cache";
   std::optional<double> execute_seconds;
-  if (auto cached = cache_.get(id)) {
+  bool cache_corrupt = false;
+  if (auto cached = cache_.get(id, &cache_corrupt)) {
     reply.cache_hit = true;
     reply.payload_text = std::move(*cached);
   } else {
+    // A corrupt entry was quarantined by the lookup itself; falling
+    // through to execution here is the transparent recompute.
     double executed = 0.0;
     reply = execute_or_join(request, id, &outcome, &executed);
-    if (std::string_view(outcome) == "miss") execute_seconds = executed;
+    if (std::string_view(outcome) != "inflight") execute_seconds = executed;
   }
 
   append_ledger(request, reply, watch.seconds());
@@ -118,7 +127,7 @@ Reply Server::resolve_received(const Request& request, double received) {
     ++requests_served_;
   }
   observe_request(request, reply, outcome, received, queue_wait,
-                  execute_seconds);
+                  execute_seconds, cache_corrupt);
   return reply;
 }
 
@@ -152,6 +161,8 @@ Reply Server::execute_or_join(const Request& request, const std::string& id,
     reply.cache_hit = true;
     reply.ok = flight->ok;
     reply.payload_text = flight->payload_text;
+    reply.error_kind = flight->error_kind;
+    reply.retryable = flight->retryable;
     return reply;
   }
 
@@ -164,18 +175,41 @@ Reply Server::execute_or_join(const Request& request, const std::string& id,
             ? runctl::Deadline::after_seconds(options_.request_time_limit)
             : runctl::Deadline{};
     runctl::RunControl control(options_.cancel, deadline);
+    // The poison boundary: whatever execution does — throw a typed Error,
+    // a foreign exception, or anything else — it becomes a structured
+    // error reply, and the batch / daemon keep serving.
     try {
+      if (ChaosPolicy::global().should(ChaosSite::kWorkerThrow))
+        throw std::runtime_error("chaos: injected worker exception");
       reply.payload_text = execute_request(request, &control).dump();
       metrics_->add("svc.executed");
       cache_.put(id, reply.payload_text);
     } catch (const Error& error) {
       reply.ok = false;
       reply.payload_text = error.what();
+      reply.error_kind = error_code_name(error.code());
+      // A deadline / cancel stop (kState) or an internal fault can succeed
+      // on resubmission; a request that is wrong in itself cannot.
+      reply.retryable = error.code() == ErrorCode::kState ||
+                        error.code() == ErrorCode::kInternal;
       metrics_->add("svc.errors");
     } catch (const std::exception& error) {
       reply.ok = false;
       reply.payload_text = error.what();
+      reply.error_kind = "poisoned";
+      reply.retryable = true;
+      *outcome = "poisoned";
       metrics_->add("svc.errors");
+      metrics_->add("svc.requests.poisoned");
+    } catch (...) {
+      reply.ok = false;
+      reply.payload_text = "request execution escaped with a non-standard "
+                           "exception";
+      reply.error_kind = "poisoned";
+      reply.retryable = true;
+      *outcome = "poisoned";
+      metrics_->add("svc.errors");
+      metrics_->add("svc.requests.poisoned");
     }
     *execute_seconds = execute_watch.seconds();
   }
@@ -185,6 +219,8 @@ Reply Server::execute_or_join(const Request& request, const std::string& id,
     flight->done = true;
     flight->ok = reply.ok;
     flight->payload_text = reply.payload_text;
+    flight->error_kind = reply.error_kind;
+    flight->retryable = reply.retryable;
   }
   flight->done_cv.notify_all();
   {
@@ -256,35 +292,47 @@ std::vector<Reply> Server::serve_batch(const std::vector<Request>& requests) {
 
 std::string Server::serve_text(const std::string& text) {
   const auto doc = obs::Json::parse(text);
-  const auto error_reply = [](const std::string& message) {
+  // Malformed submissions are never retryable: the identical bytes will
+  // fail the identical way.
+  const auto error_reply = [](const std::string& message,
+                              const char* kind) {
     Reply reply;
     reply.ok = false;
     reply.payload_text = message;
+    reply.error_kind = kind;
+    reply.retryable = false;
     return reply;
   };
   if (!doc)
-    return error_reply("submission is not valid JSON").to_text();
+    return error_reply("submission is not valid JSON", "parse").to_text();
 
   if (doc->is_object()) {
     try {
       return serve_batch({Request::from_json(*doc)})[0].to_text();
     } catch (const Error& error) {
-      return error_reply(error.what()).to_text();
+      return error_reply(error.what(), error_code_name(error.code()))
+          .to_text();
     }
   }
   if (!doc->is_array())
-    return error_reply("submission must be a request object or an array")
+    return error_reply("submission must be a request object or an array",
+                       "schema")
         .to_text();
 
   // Parse every element first (errors become in-place error replies), then
   // serve the well-formed ones as one batch so duplicates still collapse.
   std::vector<Request> good;
-  std::vector<std::optional<std::string>> parse_errors(doc->size());
+  struct ParseError {
+    std::string message;
+    const char* kind;
+  };
+  std::vector<std::optional<ParseError>> parse_errors(doc->size());
   for (std::size_t i = 0; i < doc->size(); ++i) {
     try {
       good.push_back(Request::from_json(doc->at(i)));
     } catch (const Error& error) {
-      parse_errors[i] = error.what();
+      parse_errors[i] =
+          ParseError{error.what(), error_code_name(error.code())};
     }
   }
   const std::vector<Reply> served = serve_batch(good);
@@ -293,8 +341,10 @@ std::string Server::serve_text(const std::string& text) {
   std::size_t next_served = 0;
   for (std::size_t i = 0; i < parse_errors.size(); ++i) {
     if (i > 0) out += ",";
-    out += parse_errors[i] ? error_reply(*parse_errors[i]).to_text()
-                           : served[next_served++].to_text();
+    out += parse_errors[i]
+               ? error_reply(parse_errors[i]->message, parse_errors[i]->kind)
+                     .to_text()
+               : served[next_served++].to_text();
   }
   out += "]";
   return out;
@@ -326,12 +376,63 @@ long Server::run_queue(const std::string& queue_dir, bool once,
       if (cancelled()) return served;
       const auto text = util::read_file((inbox / name).string());
       if (!text) continue;  // raced with a concurrent consumer
+
+      // Submissions arrive envelope-wrapped (svc::queue_submit); bare
+      // documents are accepted for compatibility with hand-written files.
+      // A corrupt envelope is quarantined — with an error reply in the
+      // outbox so the submitter is not left polling forever.
+      std::string submission;
+      std::string reason;
+      std::string reply_text;
+      bool corrupt_submission = false;
+      switch (unwrap_envelope(*text, &submission, &reason)) {
+        case EnvelopeStatus::kOk:
+          reply_text = serve_text(submission);
+          break;
+        case EnvelopeStatus::kNotEnvelope:
+          reply_text = serve_text(*text);
+          break;
+        case EnvelopeStatus::kCorrupt: {
+          corrupt_submission = true;
+          Reply corrupt;
+          corrupt.ok = false;
+          corrupt.payload_text = "submission failed checksum: " + reason;
+          corrupt.error_kind = "parse";
+          corrupt.retryable = false;
+          reply_text = corrupt.to_text();
+          break;
+        }
+      }
+
+      ChaosPolicy& chaos = ChaosPolicy::global();
+      if (chaos.should(ChaosSite::kQueuePartial)) {
+        // Tear the reply: a direct, non-atomic half-write — what a crash
+        // mid-write would leave without atomic_write_file. The submission
+        // is kept, so the next pass overwrites the torn file via rename;
+        // the client's envelope check keeps it polling until then.
+        const std::string wrapped = wrap_envelope(reply_text);
+        std::ofstream torn((outbox / name).string(),
+                           std::ios::binary | std::ios::trunc);
+        torn.write(wrapped.data(),
+                   static_cast<std::streamsize>(wrapped.size() / 2));
+        continue;
+      }
       // Reply before removing the submission: a crash in between replays
       // the file on restart, and the cache makes the replay a no-op.
-      if (!util::atomic_write_file((outbox / name).string(),
-                                   serve_text(*text)))
+      if (!chaos_write_file((outbox / name).string(),
+                            wrap_envelope(reply_text)))
         continue;  // keep the submission; retry on the next pass
-      fs::remove(inbox / name, ec);
+      if (corrupt_submission) {
+        // Only now that the error reply is durable does the bad
+        // submission leave the inbox — into quarantine, for forensics.
+        const fs::path qdir = fs::path(queue_dir) / "quarantine";
+        fs::create_directories(qdir, ec);
+        fs::rename(inbox / name, qdir / name, ec);
+        if (ec) fs::remove(inbox / name, ec);
+        metrics_->add("svc.queue.corrupt");
+      } else {
+        fs::remove(inbox / name, ec);
+      }
       queue_depth_.fetch_sub(1, std::memory_order_relaxed);
       ++served;
     }
@@ -446,7 +547,24 @@ bool Server::run_socket(const std::string& socket_path) {
         }
         std::string text;
         while (read_frame(fd, text)) {
-          if (!write_frame(fd, serve_text(text))) break;
+          const std::string reply = serve_text(text);
+          ChaosPolicy& chaos = ChaosPolicy::global();
+          if (chaos.should(ChaosSite::kFrameDisconnect))
+            break;  // drop the connection instead of replying
+          if (chaos.should(ChaosSite::kFrameTruncate)) {
+            // A header promising the full reply, then only half the body:
+            // the client's read_frame blocks until our close, then fails
+            // as a transport error and the retry path resubmits.
+            const unsigned char header[4] = {
+                static_cast<unsigned char>(reply.size() & 0xff),
+                static_cast<unsigned char>((reply.size() >> 8) & 0xff),
+                static_cast<unsigned char>((reply.size() >> 16) & 0xff),
+                static_cast<unsigned char>((reply.size() >> 24) & 0xff)};
+            (void)write_exact(fd, header, 4);
+            (void)write_exact(fd, reply.data(), reply.size() / 2);
+            break;
+          }
+          if (!write_frame(fd, reply)) break;
         }
         ::close(fd);
       }
@@ -509,7 +627,8 @@ long Server::inflight_count() {
 void Server::observe_request(const Request& request, const Reply& reply,
                              const char* outcome, double received,
                              std::optional<double> queue_wait_seconds,
-                             std::optional<double> execute_seconds) {
+                             std::optional<double> execute_seconds,
+                             bool cache_corrupt) {
   const double replied = uptime_.seconds();
   const double end_to_end = std::max(replied - received, 0.0);
 
@@ -555,6 +674,7 @@ void Server::observe_request(const Request& request, const Reply& reply,
             .set("kind", svc::to_string(request.kind))
             .set("outcome", outcome)
             .set("ok", reply.ok)
+            .set("cache_corrupt", cache_corrupt)
             .set("received_s", received)
             .set("queue_wait_ns",
                  queue_wait_seconds ? to_ns(*queue_wait_seconds) : 0L)
@@ -620,6 +740,7 @@ obs::Json Server::stats_snapshot() {
                .set("batch_hits", batch_hits)
                .set("executed", executed)
                .set("errors", errors)
+               .set("poisoned", metrics_->counter("svc.requests.poisoned"))
                .set("hit_rate", requests > 0 ? static_cast<double>(dedup_hits) /
                                                    static_cast<double>(requests)
                                              : 0.0))
@@ -627,7 +748,8 @@ obs::Json Server::stats_snapshot() {
            obs::Json::object()
                .set("entries", static_cast<long>(cache_.size()))
                .set("capacity", static_cast<long>(options_.cache_entries))
-               .set("evictions", metrics_->counter("svc.cache.evictions")))
+               .set("evictions", metrics_->counter("svc.cache.evictions"))
+               .set("corrupt", metrics_->counter("svc.cache.corrupt")))
       .set("workers", obs::Json::object()
                           .set("threads", threads)
                           .set("busy_seconds", execute_timer.seconds)
@@ -636,7 +758,8 @@ obs::Json Server::stats_snapshot() {
            obs::Json::object()
                .set("queue_wait", queue_wait_ns_.snapshot().to_json())
                .set("execute", execute_ns_.snapshot().to_json())
-               .set("end_to_end", end_to_end_ns_.snapshot().to_json()));
+               .set("end_to_end", end_to_end_ns_.snapshot().to_json()))
+      .set("chaos", ChaosPolicy::global().to_json());
 }
 
 void Server::flush_observability() {

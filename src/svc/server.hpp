@@ -43,9 +43,19 @@ struct Reply {
   /// batch.
   bool cache_hit = false;
   std::string payload_text;  ///< result JSON, or the error message when !ok
+  /// Error taxonomy (!ok only): an error_code_name() — "parse", "schema",
+  /// "state", ... — or "poisoned" for a request whose execution escaped
+  /// with a non-Error exception.
+  std::string error_kind = "internal";
+  /// True when resubmitting the identical request can succeed (deadline
+  /// stops, injected faults, poisoned executions); false for requests that
+  /// are wrong in themselves (parse / schema / usage). Drives the client's
+  /// retry loop.
+  bool retryable = false;
 
   /// {"schema":"xlp-reply/1","request_id":...,"cache_hit":...,
-  ///  "result":<payload>} — or "error":"..." instead of "result".
+  ///  "result":<payload>} — or, instead of "result",
+  ///  "error":{"kind":...,"retryable":...,"message":...}.
   [[nodiscard]] std::string to_text() const;
 };
 
@@ -161,6 +171,8 @@ class Server {
     bool done = false;
     bool ok = false;
     std::string payload_text;
+    std::string error_kind;
+    bool retryable = false;
   };
 
   /// resolve() with an explicit receive timestamp (seconds on the
@@ -180,10 +192,13 @@ class Server {
   /// Records one served request into the histograms, per-kind counters,
   /// series windows and the events log. `received` is on the uptime
   /// clock; nullopt stage durations are stages the request skipped.
+  /// `cache_corrupt` marks a lookup that hit a corrupt entry (quarantined,
+  /// re-executed).
   void observe_request(const Request& request, const Reply& reply,
                        const char* outcome, double received,
                        std::optional<double> queue_wait_seconds,
-                       std::optional<double> execute_seconds);
+                       std::optional<double> execute_seconds,
+                       bool cache_corrupt = false);
   [[nodiscard]] long inflight_count();
 
   ServerOptions options_;

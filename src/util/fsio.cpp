@@ -59,6 +59,26 @@ bool atomic_write_file(const std::string& path,
   if (ok && ::fsync(fd) != 0) ok = false;
   if (::close(fd) != 0) ok = false;
   if (ok && std::rename(tmp.c_str(), path.c_str()) != 0) ok = false;
+  if (ok) {
+    // fsync the parent directory too: the rename itself lives in the
+    // directory, and until that is durable a crash can roll the entry
+    // back to the old file — or to nothing. With this, the durability
+    // contract is: when atomic_write_file returns true, `path` holds the
+    // complete new content and survives an immediate power loss; on any
+    // failure or crash the old content (or absence) is untouched. A
+    // directory-fsync failure is reported as a write failure: the data
+    // landed but its durability is not established.
+    const std::string parent =
+        std::filesystem::path(path).parent_path().string();
+    const int dir_fd = ::open(parent.empty() ? "." : parent.c_str(),
+                              O_RDONLY | O_DIRECTORY);
+    if (dir_fd < 0) {
+      ok = false;
+    } else {
+      if (::fsync(dir_fd) != 0) ok = false;
+      ::close(dir_fd);
+    }
+  }
   if (!ok) std::remove(tmp.c_str());  // best-effort cleanup
   return ok;
 }

@@ -409,8 +409,8 @@ TEST(Server, EmitsOneLifecycleEventPerRequestWithOutcomes) {
     ASSERT_NE(event.find("schema"), nullptr);
     EXPECT_EQ(event.find("schema")->as_string(), kEventsSchema);
     for (const char* key : {"request_id", "kind", "outcome", "ok",
-                            "received_s", "queue_wait_ns", "execute_ns",
-                            "end_to_end_ns"})
+                            "cache_corrupt", "received_s", "queue_wait_ns",
+                            "execute_ns", "end_to_end_ns"})
       EXPECT_NE(event.find(key), nullptr) << key;
     EXPECT_EQ(event.find("kind")->as_string(), "solve");
     EXPECT_TRUE(event.find("ok")->as_bool());
@@ -519,13 +519,30 @@ TEST(Client, QueueRoundTripThroughServer) {
   const auto batch = sweep_batch(4, "dcsa", 200, 1);
   ASSERT_TRUE(queue_submit(queue_dir, "job1", batch_to_text(batch)));
   EXPECT_EQ(server.run_queue(queue_dir, /*once=*/true, 0.01), 1);
-  const auto reply = queue_wait(queue_dir, "job1", 5.0);
-  ASSERT_TRUE(reply.has_value());
-  EXPECT_NE(reply->find("\"result\":"), std::string::npos);
-  EXPECT_EQ(reply->find("\"error\":"), std::string::npos);
+  const std::string reply = queue_wait(queue_dir, "job1", 5.0);
+  EXPECT_NE(reply.find("\"result\":"), std::string::npos);
+  EXPECT_EQ(reply.find("\"error\":"), std::string::npos);
   // The submission was consumed and the reply removed by queue_wait.
   EXPECT_FALSE(fs::exists(fs::path(queue_dir) / "inbox" / "job1.json"));
   EXPECT_FALSE(fs::exists(fs::path(queue_dir) / "outbox" / "job1.json"));
+}
+
+TEST(Client, QueueWaitTimeoutNamesRequestAndInboxState) {
+  const std::string root = fresh_dir("queue_timeout");
+  const std::string queue_dir = root + "/q";
+  ASSERT_TRUE(queue_submit(queue_dir, "stuck", "[]"));
+  // No server running: the timeout error must say which request timed out
+  // and that the submission is still sitting in the inbox.
+  try {
+    (void)queue_wait(queue_dir, "stuck", 0.05);
+    FAIL() << "queue_wait should have thrown on timeout";
+  } catch (const Error& error) {
+    EXPECT_EQ(error.code(), ErrorCode::kState);
+    const std::string what = error.what();
+    EXPECT_NE(what.find("stuck"), std::string::npos) << what;
+    EXPECT_NE(what.find("waited"), std::string::npos) << what;
+    EXPECT_NE(what.find("still in inbox"), std::string::npos) << what;
+  }
 }
 
 }  // namespace

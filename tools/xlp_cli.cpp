@@ -28,12 +28,17 @@
 //   xlp submit    (--file batch.json | --sweep-n 8 [--method dcsa]
 //                 [--moves 10000] [--base-flit 256] [--seed 1])
 //                 (--queue <dir> [--wait 60] [--name <id>] | --socket <path>)
+//                 [--retries 5] [--retry-base-ms 50]
 //                 (submits a request batch to a running `xlpd` — see
 //                 docs/service.md — and prints the reply document; a
 //                 per-request summary with wall time and HIT/MISS markers
 //                 goes to stderr, and the exit code is 1 when any request
-//                 in the batch errored)
-//   xlp top       <socket> [--interval 1] [--once]
+//                 in the batch errored. Socket transport errors and
+//                 retryable error replies are resubmitted with bounded
+//                 exponential backoff — which also covers racing a daemon
+//                 that has not bound its socket yet)
+//   xlp top       <socket> [--interval 1] [--once] [--retries 5]
+//                 [--retry-base-ms 50]
 //                 (live refreshing view of a running `xlpd`: uptime,
 //                 request counts, dedup funnel, cache occupancy, worker
 //                 utilization and queue-wait/execution/end-to-end latency
@@ -885,12 +890,26 @@ bool summarize_reply(const obs::Json& reply, std::size_t index,
   char wall[32] = "";
   if (wall_seconds >= 0.0)
     std::snprintf(wall, sizeof(wall), " %.1fms", wall_seconds * 1e3);
+  // Errors are structured objects ({kind, retryable, message}); a bare
+  // string is a pre-xlp-reply/1-hardening server.
+  std::string error_text;
+  if (error != nullptr) {
+    if (error->is_object()) {
+      const obs::Json* kind = error->find("kind");
+      const obs::Json* message = error->find("message");
+      if (kind != nullptr && kind->is_string())
+        error_text = kind->as_string() + ": ";
+      if (message != nullptr && message->is_string())
+        error_text += message->as_string();
+    } else if (error->is_string()) {
+      error_text = error->as_string();
+    }
+  }
   std::fprintf(stderr, "  [%zu/%zu] %s %s%s%s%s\n", index + 1, total,
                id != nullptr && id->is_string() ? id->as_string().c_str()
                                                 : "?",
                hit != nullptr && hit->as_bool() ? "HIT " : "MISS", wall,
-               error != nullptr ? " ERROR: " : " ok",
-               error != nullptr ? error->as_string().c_str() : "");
+               error != nullptr ? " ERROR: " : " ok", error_text.c_str());
   return error == nullptr;
 }
 
@@ -939,6 +958,11 @@ int cmd_submit(const Args& args) {
                         .set("requests", request_count),
                     static_cast<std::uint64_t>(args.get_long("seed", 1)));
 
+  svc::RetryPolicy retry;
+  retry.retries = static_cast<int>(args.get_long("retries", 5));
+  retry.base_ms = args.get_double("retry-base-ms", 50.0);
+  retry.seed = static_cast<std::uint64_t>(args.get_long("seed", 1));
+
   Stopwatch wall;
   std::string reply;
   long errors = 0;
@@ -955,16 +979,17 @@ int cmd_submit(const Args& args) {
     // replies are byte-identical to a whole-batch submission (duplicates
     // become result-cache hits instead of within-batch dedup hits, which
     // serialize the same).
-    svc::SocketClient client(socket_path);
+    svc::SocketClient client(socket_path, retry);
     if (!client.ok())
       throw Error(ErrorCode::kIo, "no xlpd reachable at " + socket_path);
     reply = "[";
     for (std::size_t i = 0; i < doc->size(); ++i) {
       Stopwatch request_wall;
-      auto answered = client.submit(doc->at(i).dump());
+      auto answered = client.submit_with_retry(doc->at(i).dump());
       if (!answered)
         throw Error(ErrorCode::kIo,
-                    "connection to " + socket_path + " broke mid-batch");
+                    "connection to " + socket_path + " broke mid-batch "
+                    "and retries were exhausted");
       const double seconds = request_wall.seconds();
       if (i > 0) reply += ",";
       reply += *answered;
@@ -975,7 +1000,9 @@ int cmd_submit(const Args& args) {
     reply += "]";
   } else {
     if (!socket_path.empty()) {
-      auto answered = svc::socket_submit(socket_path, text);
+      svc::SocketClient client(socket_path, retry);
+      std::optional<std::string> answered;
+      if (client.ok()) answered = client.submit_with_retry(text);
       if (!answered)
         throw Error(ErrorCode::kIo, "no xlpd reachable at " + socket_path);
       reply = std::move(*answered);
@@ -986,13 +1013,9 @@ int cmd_submit(const Args& args) {
           args.get_or("name", obs::fnv1a64_hex(text));
       if (!svc::queue_submit(queue_dir, name, text))
         throw Error(ErrorCode::kIo, "cannot submit into " + queue_dir);
-      auto answered =
-          svc::queue_wait(queue_dir, name, args.get_double("wait", 60.0));
-      if (!answered)
-        throw Error(ErrorCode::kIo,
-                    "timed out waiting for a reply in " + queue_dir +
-                        "/outbox (is xlpd --queue running?)");
-      reply = std::move(*answered);
+      // Throws with request / elapsed / inbox-state context on timeout.
+      reply = svc::queue_wait(queue_dir, name,
+                              args.get_double("wait", 60.0));
     }
     // Whole-document transports: summarize each reply element without a
     // per-request wall time (the batch is answered as one unit).
@@ -1036,21 +1059,29 @@ std::string format_ns(double ns) {
 /// until SIGINT.
 int cmd_top(const Args& args) {
   XLP_REQUIRE(!args.positional().empty(),
-              "usage: xlp top <socket> [--interval <sec>] [--once]");
+              "usage: xlp top <socket> [--interval <sec>] [--once] "
+              "[--retries <n>] [--retry-base-ms <ms>]");
   const std::string socket_path = args.positional().front();
   const double interval = std::max(args.get_double("interval", 1.0), 0.05);
   const bool once = args.has("once");
   const std::string probe = svc::stats_request_text();
+  svc::RetryPolicy retry;
+  retry.retries = static_cast<int>(args.get_long("retries", 5));
+  retry.base_ms = args.get_double("retry-base-ms", 50.0);
 
   const auto num = [](const obs::Json* doc, const char* key) {
     const obs::Json* value = doc != nullptr ? doc->find(key) : nullptr;
     return value != nullptr && value->is_number() ? value->as_number() : 0.0;
   };
 
+  // One persistent connection for the whole view; the retry policy covers
+  // racing a daemon that has not bound its socket yet.
+  svc::SocketClient client(socket_path, retry);
   double prev_served = -1.0;
   double prev_uptime = 0.0;
   while (true) {
-    auto answered = svc::socket_submit(socket_path, probe);
+    std::optional<std::string> answered;
+    if (client.ok()) answered = client.submit_with_retry(probe);
     if (!answered)
       throw Error(ErrorCode::kIo, "no xlpd reachable at " + socket_path);
     const auto reply = obs::Json::parse(*answered);
@@ -1058,10 +1089,14 @@ int cmd_top(const Args& args) {
     const obs::Json* stats = reply->find("result");
     if (stats == nullptr) {
       const obs::Json* error = reply->find("error");
-      throw Error(ErrorCode::kState,
-                  error != nullptr && error->is_string()
-                      ? error->as_string()
-                      : "daemon did not answer the stats request");
+      std::string message = "daemon did not answer the stats request";
+      if (error != nullptr && error->is_string())
+        message = error->as_string();
+      else if (error != nullptr && error->is_object())
+        if (const obs::Json* m = error->find("message");
+            m != nullptr && m->is_string())
+          message = m->as_string();
+      throw Error(ErrorCode::kState, message);
     }
 
     const double uptime = num(stats, "uptime_seconds");
@@ -1090,13 +1125,24 @@ int cmd_top(const Args& args) {
                 num(kinds, "simulate"));
     std::printf(
         "dedup     cache %.0f   inflight %.0f   batch %.0f   executed %.0f "
-        "  errors %.0f   hit rate %.1f%%\n",
+        "  errors %.0f   poisoned %.0f   hit rate %.1f%%\n",
         num(dedup, "cache_hits"), num(dedup, "inflight_hits"),
         num(dedup, "batch_hits"), num(dedup, "executed"),
-        num(dedup, "errors"), num(dedup, "hit_rate") * 100.0);
-    std::printf("cache     %.0f/%.0f entries   %.0f evictions\n",
+        num(dedup, "errors"), num(dedup, "poisoned"),
+        num(dedup, "hit_rate") * 100.0);
+    std::printf("cache     %.0f/%.0f entries   %.0f evictions   %.0f "
+                "corrupt (quarantined)\n",
                 num(cache, "entries"), num(cache, "capacity"),
-                num(cache, "evictions"));
+                num(cache, "evictions"), num(cache, "corrupt"));
+    if (const obs::Json* chaos = stats->find("chaos");
+        chaos != nullptr && num(chaos, "total") > 0.0) {
+      const obs::Json* spec = chaos->find("spec");
+      std::printf("chaos     %.0f faults injected (%s)\n",
+                  num(chaos, "total"),
+                  spec != nullptr && spec->is_string()
+                      ? spec->as_string().c_str()
+                      : "?");
+    }
     std::printf("workers   %.0f threads   %.1f%% utilized   busy %.1fs\n",
                 num(workers, "threads"),
                 num(workers, "utilization") * 100.0,

@@ -44,16 +44,24 @@
 // All exit artifacts (metrics, series, stats snapshot) are flushed on the
 // SIGINT drain path too, so a killed daemon leaves complete telemetry.
 //
+// Chaos testing (docs/service.md, "Failure modes and chaos testing"):
+//   --chaos <spec>               arm deterministic fault injection, e.g.
+//                                "seed=7,cache-flip=0.05,worker-throw@3";
+//                                the XLP_CHAOS environment variable is the
+//                                flagless equivalent (the flag wins)
+//
 // Exit codes: 0 success, 1 domain failure, 2 usage error, 130 when a
 // SIGINT/SIGTERM drained the server.
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 
 #include "obs/metrics.hpp"
 #include "obs/timeseries.hpp"
 #include "runctl/control.hpp"
+#include "svc/chaos.hpp"
 #include "svc/server.hpp"
 #include "util/args.hpp"
 #include "util/error.hpp"
@@ -74,7 +82,8 @@ int usage() {
                "[--poll-seconds <sec>] [--out <file>] [--metrics <file>] "
                "[--out-dir <dir>] [--no-ledger] [--events <file.jsonl>] "
                "[--series <file.json>] [--series-window <sec>] "
-               "[--stats-json <file.json>] [--no-observe]\n");
+               "[--stats-json <file.json>] [--no-observe] "
+               "[--chaos <spec>]\n");
   return kExitUsage;
 }
 
@@ -108,6 +117,16 @@ int serve(const Args& args) {
   const std::string stats_path = args.get_or("stats-json", "");
   obs::SeriesRecorder series;
   if (!series_path.empty()) options.series = &series;
+
+  std::string chaos_spec = args.get_or("chaos", "");
+  if (chaos_spec.empty())
+    if (const char* env = std::getenv("XLP_CHAOS"); env != nullptr)
+      chaos_spec = env;
+  if (!chaos_spec.empty()) {
+    svc::ChaosPolicy::global().configure(chaos_spec);  // throws on bad spec
+    std::fprintf(stderr, "xlpd: CHAOS ARMED (%s) — injected faults ahead\n",
+                 chaos_spec.c_str());
+  }
 
   svc::Server server(options);
   std::fprintf(stderr, "xlpd: cache %s (%zu entries loaded)\n",
@@ -151,6 +170,13 @@ int serve(const Args& args) {
                server.requests_served() == 1 ? "" : "s",
                obs::MetricsRegistry::global().counter("svc.executed"),
                obs::MetricsRegistry::global().counter("svc.cache.hits"));
+  if (svc::ChaosPolicy::global().enabled())
+    std::fprintf(stderr, "xlpd: chaos injected %ld fault%s, quarantined %ld "
+                         "cache entr%s\n",
+                 svc::ChaosPolicy::global().total_injected(),
+                 svc::ChaosPolicy::global().total_injected() == 1 ? "" : "s",
+                 server.cache().corrupt_count(),
+                 server.cache().corrupt_count() == 1 ? "y" : "ies");
   return 0;
 }
 
