@@ -7,12 +7,14 @@
 #include "suites.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <vector>
 
 #include "core/branch_bound.hpp"
 #include "core/c_sweep.hpp"
+#include "core/delta_objective.hpp"
 #include "core/dnc.hpp"
 #include "core/drivers.hpp"
 #include "core/objective.hpp"
@@ -97,14 +99,20 @@ void register_micro_core() {
                      run.set_items(kIters);
                    });
   }
-  for (const int n : {8, 16}) {
+  // sa_moves_* is the full-evaluation reference path (delta_eval off);
+  // sa_delta_moves_* runs the identical schedule with the incremental
+  // evaluator. Their best_value counters must agree exactly (the delta
+  // contract), and the CI perf gate asserts moves_per_sec of the delta
+  // variant stays well ahead of the reference.
+  for (const int n : {8, 16, 32}) {
     register_bench("micro_core", "sa_moves_" + std::to_string(n),
                    n == 8 ? "smoke" : "", [n](BenchRun& run) {
                      const core::RowObjective obj(n, route::HopWeights{});
                      Rng rng(3);
                      core::SaParams params;
-                     params.total_moves = 100;
+                     params.total_moves = 500;
                      params.moves_per_cool = 25;
+                     params.delta_eval = false;
                      const auto initial =
                          topo::ConnectionMatrix::random(n, 4, rng, 0.5);
                      Rng move_rng(7);
@@ -112,9 +120,83 @@ void register_micro_core() {
                          initial, obj, params, move_rng);
                      g_sink = result.best_value;
                      run.set_items(params.total_moves);
+                     run.set_rate("moves",
+                                  static_cast<double>(params.total_moves));
                      run.set_counter("best_value", result.best_value);
                    });
   }
+  for (const int n : {8, 16, 32}) {
+    register_bench("micro_core", "sa_delta_moves_" + std::to_string(n),
+                   n == 8 ? "smoke" : "", [n](BenchRun& run) {
+                     const core::RowObjective obj(n, route::HopWeights{});
+                     Rng rng(3);
+                     core::SaParams params;
+                     params.total_moves = 500;
+                     params.moves_per_cool = 25;
+                     params.delta_eval = true;
+                     const auto initial =
+                         topo::ConnectionMatrix::random(n, 4, rng, 0.5);
+                     Rng move_rng(7);
+                     const auto result = core::anneal_connection_matrix(
+                         initial, obj, params, move_rng);
+                     g_sink = result.best_value;
+                     run.set_items(params.total_moves);
+                     run.set_rate("moves",
+                                  static_cast<double>(params.total_moves));
+                     run.set_counter("best_value", result.best_value);
+                   });
+  }
+  // Head-to-head single-pair timing: the same 200-flip random walk scored
+  // by the full evaluator and by the delta evaluator, interleaved into one
+  // bench so both times come from the same process state. value_match is 1
+  // only when every one of the 200 scores agreed bit-for-bit.
+  register_bench("micro_core", "delta_vs_full_pair", "", [](BenchRun& run) {
+    const int n = 16;
+    const core::RowObjective obj(n, route::HopWeights{});
+    Rng rng(5);
+    const auto initial = topo::ConnectionMatrix::random(n, 4, rng, 0.5);
+    constexpr int kMoves = 200;
+    Rng walk_rng(9);
+    std::vector<int> bits(kMoves);
+    for (int& bit : bits)
+      bit = static_cast<int>(walk_rng.uniform_below(
+          static_cast<std::uint64_t>(initial.bit_count())));
+
+    topo::ConnectionMatrix full_state = initial;
+    std::vector<double> full_scores(kMoves);
+    const auto full_start = std::chrono::steady_clock::now();
+    for (int m = 0; m < kMoves; ++m) {
+      full_state.flip_flat(bits[m]);
+      full_scores[m] = obj.evaluate(full_state.decode());
+    }
+    const auto full_end = std::chrono::steady_clock::now();
+
+    core::DeltaRowObjective delta(obj, initial);
+    std::vector<double> delta_scores(kMoves);
+    const auto delta_start = std::chrono::steady_clock::now();
+    for (int m = 0; m < kMoves; ++m) {
+      delta_scores[m] = delta.propose_flip(bits[m]);
+      delta.commit();
+    }
+    const auto delta_end = std::chrono::steady_clock::now();
+
+    bool match = true;
+    for (int m = 0; m < kMoves; ++m)
+      if (full_scores[m] != delta_scores[m]) match = false;
+    g_sink = delta_scores.back();
+    run.set_items(kMoves);
+    run.set_time_ns("full_move",
+                    std::chrono::duration<double, std::nano>(full_end -
+                                                             full_start)
+                            .count() /
+                        kMoves);
+    run.set_time_ns("delta_move",
+                    std::chrono::duration<double, std::nano>(delta_end -
+                                                             delta_start)
+                            .count() /
+                        kMoves);
+    run.set_counter("value_match", match ? 1.0 : 0.0);
+  });
   for (const int n : {8, 16, 32}) {
     register_bench("micro_core", "dnc_initializer_" + std::to_string(n),
                    n == 8 ? "smoke" : "", [n](BenchRun& run) {

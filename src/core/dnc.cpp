@@ -1,8 +1,10 @@
 #include "core/dnc.hpp"
 
 #include <limits>
+#include <optional>
 
 #include "core/branch_bound.hpp"
+#include "core/delta_objective.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "util/check.hpp"
@@ -49,22 +51,37 @@ topo::RowTopology solve_recursive(const RowObjective& objective,
   const topo::RowTopology base = concat_halves(left, right, n);
 
   const obs::ProfileScope merge_scope("dnc.merge");
-  topo::RowTopology best = base;  // the adjacent pair (half-1, half) case
-  double best_value = objective.evaluate(base);
+  double best_value = objective.evaluate(base);  // the adjacent-pair case
+  std::optional<topo::RowLink> best_link;
+  // Every candidate is `base` plus one cross link, so the incremental
+  // evaluator recomputes only the spans containing that link instead of
+  // rebuilding shortest paths per candidate. Scores are bit-identical to
+  // objective.evaluate(candidate), so the selected link cannot change.
+  std::optional<DeltaRowObjective> scan;
+  if (options.delta_eval) scan.emplace(objective, base);
   for (int i = 0; i < half; ++i) {
     if (options.control != nullptr && options.control->stop_requested())
       break;  // keep the best merge candidate evaluated so far
     for (int j = half; j < n; ++j) {
       if (j - i < 2) continue;  // adjacent: covered by the base candidate
-      topo::RowTopology candidate = base;
-      candidate.add_express({i, j});
-      const double value = objective.evaluate(candidate);
+      double value;
+      if (scan.has_value()) {
+        value = scan->propose_add({i, j});
+        scan->revert();
+      } else {
+        topo::RowTopology candidate = base;
+        candidate.add_express({i, j});
+        value = objective.evaluate(candidate);
+      }
       if (value < best_value) {
         best_value = value;
-        best = std::move(candidate);
+        best_link = topo::RowLink{i, j};
       }
     }
   }
+  if (!best_link.has_value()) return base;
+  topo::RowTopology best = base;
+  best.add_express(*best_link);
   return best;
 }
 

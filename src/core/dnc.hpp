@@ -31,6 +31,11 @@ struct DncOptions {
   /// be null. A stopped run returns the best feasible placement assembled
   /// so far (possibly the plain row).
   runctl::RunControl* control = nullptr;
+  /// Score the O(n^2) cross-pair merge candidates with the incremental
+  /// evaluator (each candidate is the base placement plus one link, so only
+  /// the spans containing that link are recomputed). Values are
+  /// bit-identical to full evaluation; off is the reference path.
+  bool delta_eval = true;
 };
 
 struct DncResult {

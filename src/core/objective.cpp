@@ -46,7 +46,11 @@ void RowObjective::set_secondary(
 
 double RowObjective::evaluate(const topo::RowTopology& row) const {
   XLP_REQUIRE(row.size() == n_, "placement size does not match objective");
-  ++*evals_;
+  count_evaluation();
+  return evaluate_uncounted(row);
+}
+
+double RowObjective::evaluate_uncounted(const topo::RowTopology& row) const {
   const route::DirectionalShortestPaths paths(row, hop_);
   const double average = (pair_weights_.empty() || weights_all_zero_)
                              ? paths.average_cost()

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -8,6 +9,8 @@
 #include "topo/row_topology.hpp"
 
 namespace xlp::core {
+
+class DeltaRowObjective;
 
 /// The quantity P̄(n, C) minimizes: average head latency between router
 /// pairs of one row (Section 4.2). Uniform weighting is the paper's
@@ -74,9 +77,25 @@ class RowObjective {
 
   /// Number of evaluate() calls so far, *including* calls made through
   /// sub-objectives derived with sub_objective() — the divide-and-conquer
-  /// initializer's recursive work is part of its runtime.
-  [[nodiscard]] long evaluations() const noexcept { return *evals_; }
-  void reset_evaluations() noexcept { *evals_ = 0; }
+  /// initializer's recursive work is part of its runtime — and incremental
+  /// scores produced by a DeltaRowObjective built over this objective.
+  /// Thread-safe: portfolio chains share one root objective across the
+  /// thread pool, so the counter uses relaxed atomic increments (each
+  /// increment is an independent tally; no ordering is implied).
+  [[nodiscard]] long evaluations() const noexcept {
+    return evals_->load(std::memory_order_relaxed);
+  }
+  void reset_evaluations() noexcept {
+    evals_->store(0, std::memory_order_relaxed);
+  }
+
+  /// True when evaluate() can be reproduced incrementally by a
+  /// DeltaRowObjective: uniform, weighted, and worst-case-blend objectives
+  /// qualify; a secondary-metric blend (set_secondary) scores an opaque
+  /// row-level function and forces full evaluation.
+  [[nodiscard]] bool delta_supported() const noexcept {
+    return secondary_weight_ <= 0.0;
+  }
 
   /// Objective for the sub-row covering positions [lo, lo+len): uniform
   /// objectives are position-independent; weighted objectives slice the
@@ -84,6 +103,20 @@ class RowObjective {
   [[nodiscard]] RowObjective sub_objective(int lo, int len) const;
 
  private:
+  // The incremental evaluator reproduces evaluate() from cached per-pair
+  // costs; it needs the blend weights, the shared counter, and the
+  // uncounted evaluation below for its XLP_CHECK_DELTA lockstep mode.
+  friend class DeltaRowObjective;
+
+  /// evaluate() without the precondition and counter bump: the
+  /// cross-check path scores a placement the delta evaluator already
+  /// counted, so counting again would double evaluations().
+  [[nodiscard]] double evaluate_uncounted(const topo::RowTopology& row) const;
+
+  void count_evaluation() const noexcept {
+    evals_->fetch_add(1, std::memory_order_relaxed);
+  }
+
   int n_;
   route::HopWeights hop_;
   std::vector<double> pair_weights_;  // empty => uniform
@@ -92,7 +125,8 @@ class RowObjective {
   double secondary_weight_ = 0.0;
   std::function<double(const topo::RowTopology&)> secondary_;
   // Shared with sub-objectives so recursive work is attributed to the root.
-  std::shared_ptr<long> evals_ = std::make_shared<long>(0);
+  std::shared_ptr<std::atomic<long>> evals_ =
+      std::make_shared<std::atomic<long>>(0);
 };
 
 }  // namespace xlp::core

@@ -1,7 +1,9 @@
 #include "core/sa.hpp"
 
 #include <cmath>
+#include <optional>
 
+#include "core/delta_objective.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/timeseries.hpp"
@@ -63,6 +65,13 @@ SaResult anneal_connection_matrix(const topo::ConnectionMatrix& initial,
   // row is the only state.
   if (initial.bit_count() == 0) return result;
 
+  // The incremental evaluator scores each flip in O(affected spans) with
+  // bit-identical values (see DeltaRowObjective). Built after any resume
+  // restore so its span cache describes the restored matrix; its copy of
+  // the state advances in lockstep with `current` via commit/revert.
+  std::optional<DeltaRowObjective> delta;
+  if (params.delta_eval) delta.emplace(objective, current);
+
   // Snapshots the loop state at a move boundary: `next_move` is the first
   // move the continuation will execute, and every field — including the
   // raw RNG words — is captured so the continuation replays the exact
@@ -99,26 +108,36 @@ SaResult anneal_connection_matrix(const topo::ConnectionMatrix& initial,
     }
     const int bit = static_cast<int>(
         rng.uniform_below(static_cast<std::uint64_t>(current.bit_count())));
-    current.flip_flat(bit);
     double candidate_value;
     {
       const obs::ProfileScope eval_scope("sa.evaluate");
-      candidate_value = objective.evaluate(current.decode());
+      if (delta.has_value()) {
+        candidate_value = delta->propose_flip(bit);
+      } else {
+        current.flip_flat(bit);
+        candidate_value = objective.evaluate(current.decode());
+      }
     }
-    const double delta = candidate_value - current_value;
+    const double value_delta = candidate_value - current_value;
 
-    bool accept = delta <= 0.0;
+    bool accept = value_delta <= 0.0;
     if (!accept && temperature > 0.0)
-      accept = rng.uniform01() < std::exp(-delta / temperature);
+      accept = rng.uniform01() < std::exp(-value_delta / temperature);
 
     if (accept) {
+      if (delta.has_value()) {
+        delta->commit();
+        current.flip_flat(bit);
+      }
       current_value = candidate_value;
       ++result.accepted;
-      if (delta <= 0.0) ++result.improved;
+      if (value_delta <= 0.0) ++result.improved;
       if (candidate_value < result.best_value) {
         result.best_value = candidate_value;
         result.best_matrix = current;
       }
+    } else if (delta.has_value()) {
+      delta->revert();
     } else {
       current.flip_flat(bit);  // undo
     }

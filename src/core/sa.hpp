@@ -83,6 +83,16 @@ struct SaParams {
   /// which driver produced them (e.g. "OnlySA").
   std::string method_label;
 
+  /// Score each move with the incremental evaluator (DeltaRowObjective):
+  /// O(affected spans) per flipped connection point instead of a full
+  /// shortest-paths rebuild, with bit-identical values — the trajectory,
+  /// checkpoints and SaResult are byte-for-byte the same either way, so
+  /// this is a pure speed knob. Off is the reference path (benchmarks
+  /// measure it; XLP_CHECK_DELTA=1 cross-checks every delta score against
+  /// it at runtime). Objectives a delta evaluator cannot reproduce
+  /// (secondary-metric blends) fall back to full evaluation internally.
+  bool delta_eval = true;
+
   /// Scales the move budget while keeping the same cooling profile shape
   /// (used by the runtime-comparison experiment, Fig. 7).
   [[nodiscard]] SaParams with_moves(long moves) const {

@@ -60,27 +60,12 @@ void DirectionalShortestPaths::compute(
   }
 
   // Monotone paths form a DAG in each direction; fill by increasing span.
-  // Tie-break: lower cost, then fewer hops, then the longest first hop (take
-  // the express link as early as possible — deterministic and keeps packets
-  // off local links that shorter-haul traffic needs).
+  // The relaxation (and its tie-break) lives in detail::relax_monotone,
+  // shared with the incremental evaluator.
   auto relax = [&](int i, int j, int via, double base_cost, int base_hops) {
-    const int len = std::abs(via - i);
-    const double c = weights_.link_cost(len) + base_cost;
-    const int h = 1 + base_hops;
-    auto& cur_cost = cost_[idx(i, j)];
-    auto& cur_hops = hops_[idx(i, j)];
-    auto& cur_next = next_[idx(i, j)];
-    const bool better =
-        c < cur_cost - 1e-12 ||
-        (c < cur_cost + 1e-12 &&
-         (h < cur_hops ||
-          (h == cur_hops && cur_next >= 0 &&
-           std::abs(via - i) > std::abs(cur_next - i))));
-    if (cur_next < 0 || better) {
-      cur_cost = c;
-      cur_hops = h;
-      cur_next = via;
-    }
+    detail::relax_monotone(weights_, i, via, base_cost, base_hops,
+                           cost_[idx(i, j)], hops_[idx(i, j)],
+                           next_[idx(i, j)]);
   };
 
   for (int span = 1; span < n_; ++span) {
@@ -138,11 +123,23 @@ std::vector<int> DirectionalShortestPaths::path(int i, int j) const {
   return out;
 }
 
+// Both averages accumulate one partial sum per source row and then sum the
+// row partials. The two-level order matters twice over: the independent row
+// chains pipeline on the FP units instead of serializing 240+ dependent
+// additions, and core::DeltaRowObjective reproduces the exact same bits by
+// refreshing only the row partials its incremental update touched (a row
+// whose cells kept their values bitwise yields a bitwise-identical
+// partial). Changing the summation order here changes last-ULP results —
+// keep the two implementations in lockstep.
 double DirectionalShortestPaths::average_cost() const {
   double total = 0.0;
-  for (int i = 0; i < n_; ++i)
-    for (int j = 0; j < n_; ++j)
-      if (i != j) total += cost_[idx(i, j)];
+  for (int i = 0; i < n_; ++i) {
+    const std::size_t base = static_cast<std::size_t>(i) * n_;
+    double row = 0.0;
+    for (int j = 0; j < i; ++j) row += cost_[base + j];
+    for (int j = i + 1; j < n_; ++j) row += cost_[base + j];
+    total += row;
+  }
   return total / (static_cast<double>(n_) * (n_ - 1));
 }
 
@@ -153,13 +150,18 @@ double DirectionalShortestPaths::weighted_average_cost(
   double total = 0.0;
   double wsum = 0.0;
   for (int i = 0; i < n_; ++i) {
+    const std::size_t base = static_cast<std::size_t>(i) * n_;
+    double row_total = 0.0;
+    double row_wsum = 0.0;
     for (int j = 0; j < n_; ++j) {
-      const double w = weight[idx(i, j)];
+      const double w = weight[base + j];
       XLP_REQUIRE(w >= 0.0, "weights must be non-negative");
       if (i == j) continue;
-      total += w * cost_[idx(i, j)];
-      wsum += w;
+      row_total += w * cost_[base + j];
+      row_wsum += w;
     }
+    total += row_total;
+    wsum += row_wsum;
   }
   XLP_REQUIRE(wsum > 0.0, "weights must have a positive sum");
   return total / wsum;

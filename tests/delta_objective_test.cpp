@@ -1,0 +1,365 @@
+// Exactness and determinism contract of the incremental evaluator
+// (DeltaRowObjective): every delta score must be bit-identical to the full
+// RowObjective::evaluate on the same placement, so an anneal driven by it
+// accepts the same moves, emits byte-identical checkpoints and returns the
+// same SaResult. `ctest -L delta` runs exactly this suite; the asan-ubsan
+// CI lane re-runs it with XLP_CHECK_DELTA=1 so every propose also
+// cross-checks itself against the full evaluator at runtime.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/delta_objective.hpp"
+#include "core/dnc.hpp"
+#include "core/objective.hpp"
+#include "core/portfolio.hpp"
+#include "core/sa.hpp"
+#include "topo/connection_matrix.hpp"
+#include "topo/row_topology.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace xlp::core {
+namespace {
+
+route::HopWeights paper_weights() { return route::HopWeights{}; }
+
+std::vector<double> random_pair_weights(int n, Rng& rng) {
+  std::vector<double> w(static_cast<std::size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j)
+      if (i != j) w[static_cast<std::size_t>(i) * n + j] = rng.uniform01();
+  return w;
+}
+
+// Drives `delta` through a random flip sequence with random accept /
+// reject decisions and asserts, after every propose, that the delta score
+// equals the full evaluation of the mutated placement exactly (no
+// tolerance: the contract is bit-identity).
+void run_flip_property(const RowObjective& objective, int n, int limit,
+                       std::uint64_t seed, int moves) {
+  Rng rng(seed);
+  topo::ConnectionMatrix reference =
+      topo::ConnectionMatrix::random(n, limit, rng, 0.5);
+  DeltaRowObjective delta(objective, reference);
+  for (int m = 0; m < moves; ++m) {
+    const int bit = static_cast<int>(rng.uniform_below(
+        static_cast<std::uint64_t>(reference.bit_count())));
+    const double incremental = delta.propose_flip(bit);
+    reference.flip_flat(bit);
+    const double full = objective.evaluate(reference.decode());
+    ASSERT_EQ(incremental, full)
+        << "move " << m << " bit " << bit << " n=" << n << " C=" << limit;
+    if (rng.uniform01() < 0.5) {
+      delta.commit();
+    } else {
+      delta.revert();
+      reference.flip_flat(bit);  // undo on the reference too
+    }
+  }
+  // The cache must still be coherent after the mixed commit/revert walk:
+  // one more accepted move scored from the final state.
+  const int bit = 0;
+  const double incremental = delta.propose_flip(bit);
+  reference.flip_flat(bit);
+  ASSERT_EQ(incremental, objective.evaluate(reference.decode()));
+  delta.commit();
+}
+
+TEST(DeltaObjective, UniformFlipsMatchFullEvaluationExactly) {
+  for (const int n : {4, 8, 13, 16}) {
+    for (const int limit : {2, 3, 4}) {
+      const RowObjective obj(n, paper_weights());
+      ASSERT_TRUE(obj.delta_supported());
+      run_flip_property(obj, n, limit, 100 + n + limit, 200);
+    }
+  }
+}
+
+TEST(DeltaObjective, WeightedFlipsMatchFullEvaluationExactly) {
+  for (const int n : {8, 16}) {
+    Rng wrng(11u + static_cast<std::uint64_t>(n));
+    RowObjective obj(n, paper_weights(), random_pair_weights(n, wrng));
+    run_flip_property(obj, n, 4, 200 + n, 200);
+  }
+}
+
+TEST(DeltaObjective, WorstCaseBlendFlipsMatchFullEvaluationExactly) {
+  for (const double w : {0.25, 1.0}) {
+    RowObjective obj(16, paper_weights());
+    obj.set_worst_case_weight(w);
+    ASSERT_TRUE(obj.delta_supported());
+    run_flip_property(obj, 16, 4, 321, 200);
+  }
+}
+
+TEST(DeltaObjective, WeightedWorstCaseBlendMatchesFullEvaluationExactly) {
+  Rng wrng(77);
+  RowObjective obj(12, paper_weights(), random_pair_weights(12, wrng));
+  obj.set_worst_case_weight(0.5);
+  run_flip_property(obj, 12, 3, 555, 200);
+}
+
+TEST(DeltaObjective, NonIntegerHopWeightsStayExactWithoutTheMirror) {
+  // Fractional cycle weights disable the mirror-mode shortcut (the
+  // leftward table is maintained by its own cascade instead of being
+  // transposed from the rightward one). The weights are binary-exact
+  // fractions, so path sums are still exact and the bit-identity contract
+  // must hold through the two-direction code path.
+  for (const int n : {8, 16}) {
+    const RowObjective obj(n, route::HopWeights{2.75, 1.5});
+    ASSERT_TRUE(obj.delta_supported());
+    run_flip_property(obj, n, 4, 400 + n, 200);
+  }
+}
+
+TEST(DeltaObjective, TopologyModeAddMatchesFullEvaluationExactly) {
+  // The D&C merge pattern: a fixed base placement, each candidate is base
+  // plus one cross link, propose/revert per candidate.
+  const int n = 12;
+  const RowObjective obj(n, paper_weights());
+  topo::RowTopology base(n, {{0, 3}, {6, 11}});
+  DeltaRowObjective scan(obj, base);
+  ASSERT_TRUE(scan.incremental());
+  for (int i = 0; i < n / 2; ++i) {
+    for (int j = n / 2; j < n; ++j) {
+      if (j - i < 2) continue;
+      const double incremental = scan.propose_add({i, j});
+      topo::RowTopology candidate = base;
+      candidate.add_express({i, j});
+      ASSERT_EQ(incremental, obj.evaluate(candidate))
+          << "link (" << i << ", " << j << ")";
+      scan.revert();
+    }
+  }
+  // Adding a duplicate of an existing link must also score exactly (the
+  // multiset placement with the link twice).
+  const double dup = scan.propose_add({0, 3});
+  topo::RowTopology twice = base;
+  twice.add_express({0, 3});
+  ASSERT_EQ(dup, obj.evaluate(twice));
+  scan.revert();
+}
+
+TEST(DeltaObjective, SecondaryBlendFallsBackButStaysExact) {
+  RowObjective obj(10, paper_weights());
+  obj.set_secondary(0.3, [](const topo::RowTopology& row) {
+    return static_cast<double>(row.express_links().size());
+  });
+  ASSERT_FALSE(obj.delta_supported());
+  topo::ConnectionMatrix state(10, 3);
+  DeltaRowObjective delta(obj, state);
+  EXPECT_FALSE(delta.incremental());
+  Rng rng(9);
+  for (int m = 0; m < 50; ++m) {
+    const int bit = static_cast<int>(
+        rng.uniform_below(static_cast<std::uint64_t>(state.bit_count())));
+    const double incremental = delta.propose_flip(bit);
+    state.flip_flat(bit);
+    ASSERT_EQ(incremental, obj.evaluate(state.decode()));
+    if (rng.uniform01() < 0.5) {
+      delta.commit();
+    } else {
+      delta.revert();
+      state.flip_flat(bit);
+    }
+  }
+}
+
+TEST(DeltaObjective, EveryProposeCountsExactlyOneEvaluation) {
+  RowObjective obj(8, paper_weights());
+  obj.reset_evaluations();
+  topo::ConnectionMatrix state(8, 4);
+  DeltaRowObjective delta(obj, state);
+  EXPECT_EQ(obj.evaluations(), 0) << "construction must not count";
+  (void)delta.propose_flip(0);
+  delta.commit();
+  (void)delta.propose_flip(1);
+  delta.revert();
+  (void)delta.propose_flip(0);
+  delta.revert();
+  EXPECT_EQ(obj.evaluations(), 3);
+}
+
+// The headline contract: an anneal driven by the incremental evaluator is
+// byte-for-byte the run the full evaluator produces — same accepted moves,
+// same counters, same best matrix, same checkpoint JSON.
+TEST(DeltaObjective, AnnealTrajectoryIsBitIdenticalToFullEvaluation) {
+  const int n = 16;
+  const RowObjective obj(n, paper_weights());
+  Rng seed_rng(3);
+  const auto initial = topo::ConnectionMatrix::random(n, 4, seed_rng, 0.5);
+
+  const auto run = [&](bool use_delta) {
+    SaParams params;
+    params.initial_temperature = 10.0;
+    params.total_moves = 2000;
+    params.moves_per_cool = 250;
+    params.delta_eval = use_delta;
+    params.method_label = "OnlySA";
+    params.checkpoint_every_moves = 500;
+    std::vector<std::string> checkpoints;
+    params.checkpoint_sink = [&](const runctl::SaCheckpoint& ck) {
+      checkpoints.push_back(ck.to_json().dump());
+    };
+    Rng rng(7);
+    const SaResult result =
+        anneal_connection_matrix(initial, obj, params, rng);
+    return std::make_pair(result, checkpoints);
+  };
+
+  const auto [full, full_ckpts] = run(false);
+  const auto [delta, delta_ckpts] = run(true);
+
+  EXPECT_EQ(delta.best_value, full.best_value);
+  EXPECT_EQ(delta.best_matrix, full.best_matrix);
+  EXPECT_EQ(delta.moves, full.moves);
+  EXPECT_EQ(delta.accepted, full.accepted);
+  EXPECT_EQ(delta.improved, full.improved);
+  EXPECT_EQ(delta.acceptance_rate, full.acceptance_rate);
+  EXPECT_EQ(delta.final_temperature, full.final_temperature);
+  ASSERT_EQ(delta_ckpts.size(), full_ckpts.size());
+  for (std::size_t i = 0; i < full_ckpts.size(); ++i)
+    EXPECT_EQ(delta_ckpts[i], full_ckpts[i]) << "checkpoint " << i;
+}
+
+TEST(DeltaObjective, ResumedDeltaRunMatchesUninterruptedFullRun) {
+  // Stop a delta-driven run at a checkpoint, resume it (still delta), and
+  // compare against one uninterrupted full-evaluation run: the checkpoint
+  // format carries no trace of which evaluator produced it.
+  const int n = 12;
+  const RowObjective obj(n, paper_weights());
+  Rng seed_rng(5);
+  const auto initial = topo::ConnectionMatrix::random(n, 3, seed_rng, 0.5);
+
+  SaParams base;
+  base.initial_temperature = 10.0;
+  base.total_moves = 1600;
+  base.moves_per_cool = 200;
+  base.method_label = "OnlySA";
+
+  SaParams uninterrupted = base;
+  uninterrupted.delta_eval = false;
+  Rng r_full(21);
+  const SaResult full =
+      anneal_connection_matrix(initial, obj, uninterrupted, r_full);
+
+  SaParams first = base;
+  first.checkpoint_every_moves = 800;
+  std::optional<runctl::SaCheckpoint> mid;
+  first.checkpoint_sink = [&](const runctl::SaCheckpoint& ck) {
+    if (!ck.complete && !mid.has_value()) mid = ck;  // the move-800 snapshot
+  };
+  Rng r_a(21);
+  (void)anneal_connection_matrix(initial, obj, first, r_a);
+  ASSERT_TRUE(mid.has_value());
+  ASSERT_EQ(mid->next_move, 800);
+
+  SaParams second_half = base;
+  second_half.resume = &*mid;
+  Rng r_b(999);  // overwritten by the checkpoint's RNG words
+  const SaResult resumed =
+      anneal_connection_matrix(initial, obj, second_half, r_b);
+
+  EXPECT_EQ(resumed.best_value, full.best_value);
+  EXPECT_EQ(resumed.best_matrix, full.best_matrix);
+  EXPECT_EQ(resumed.accepted, full.accepted);
+  EXPECT_EQ(resumed.improved, full.improved);
+}
+
+TEST(DeltaObjective, DncMergeSelectsTheSameLinkWithAndWithoutDelta) {
+  for (const int n : {10, 16, 23}) {
+    const RowObjective obj(n, paper_weights());
+    DncOptions with_delta;
+    with_delta.delta_eval = true;
+    DncOptions without_delta;
+    without_delta.delta_eval = false;
+    const DncResult a = dnc_initial_solution(obj, 4, with_delta);
+    const DncResult b = dnc_initial_solution(obj, 4, without_delta);
+    EXPECT_EQ(a.value, b.value) << "n=" << n;
+    EXPECT_EQ(a.placement.express_links(), b.placement.express_links())
+        << "n=" << n;
+  }
+}
+
+TEST(DeltaObjective, PortfolioIsByteIdenticalAcrossThreadCounts) {
+  // Delta evaluation is on by default inside portfolio chains; the
+  // cross-thread-count determinism contract must survive it.
+  const auto run = [](int threads) {
+    PortfolioOptions options;
+    options.chains = 4;
+    options.threads = threads;
+    options.sa.total_moves = 800;
+    options.sa.moves_per_cool = 100;
+    return solve_portfolio(14, route::HopWeights{}, std::nullopt, 3, options,
+                           42);
+  };
+  const PortfolioResult one = run(1);
+  for (const int threads : {2, 4}) {
+    const PortfolioResult many = run(threads);
+    EXPECT_EQ(many.best.value, one.best.value) << threads << " threads";
+    EXPECT_EQ(many.best.placement.express_links(),
+              one.best.placement.express_links())
+        << threads << " threads";
+    ASSERT_EQ(many.chain_values.size(), one.chain_values.size());
+    for (std::size_t i = 0; i < one.chain_values.size(); ++i)
+      EXPECT_EQ(many.chain_values[i], one.chain_values[i])
+          << threads << " threads, chain " << i;
+  }
+}
+
+TEST(DeltaObjective, CrossCheckModeRunsCleanOnAgreement) {
+  // XLP_CHECK_DELTA=1 makes every propose re-score with the full evaluator
+  // and abort on divergence; on a correct implementation it is silent.
+  ASSERT_EQ(setenv("XLP_CHECK_DELTA", "1", 1), 0);
+  const RowObjective obj(10, paper_weights());
+  SaParams params;
+  params.total_moves = 300;
+  params.moves_per_cool = 100;
+  Rng seed_rng(13);
+  const auto initial = topo::ConnectionMatrix::random(10, 3, seed_rng, 0.5);
+  Rng rng(17);
+  const SaResult checked =
+      anneal_connection_matrix(initial, obj, params, rng);
+  ASSERT_EQ(unsetenv("XLP_CHECK_DELTA"), 0);
+
+  SaParams reference = params;
+  reference.delta_eval = false;
+  Rng rng2(17);
+  const SaResult plain =
+      anneal_connection_matrix(initial, obj, reference, rng2);
+  EXPECT_EQ(checked.best_value, plain.best_value);
+  EXPECT_EQ(checked.best_matrix, plain.best_matrix);
+}
+
+TEST(DeltaObjective, CrossCheckModeDoesNotDoubleCountEvaluations) {
+  ASSERT_EQ(setenv("XLP_CHECK_DELTA", "1", 1), 0);
+  RowObjective obj(8, paper_weights());
+  obj.reset_evaluations();
+  topo::ConnectionMatrix state(8, 4);
+  DeltaRowObjective delta(obj, state);
+  (void)delta.propose_flip(0);
+  delta.commit();
+  (void)delta.propose_flip(3);
+  delta.revert();
+  ASSERT_EQ(unsetenv("XLP_CHECK_DELTA"), 0);
+  EXPECT_EQ(obj.evaluations(), 2);
+}
+
+TEST(DeltaObjective, ProposeWithoutResolutionIsRejected) {
+  const RowObjective obj(8, paper_weights());
+  topo::ConnectionMatrix state(8, 4);
+  DeltaRowObjective delta(obj, state);
+  (void)delta.propose_flip(0);
+  EXPECT_THROW((void)delta.propose_flip(1), PreconditionError);
+  delta.revert();
+  EXPECT_THROW(delta.commit(), PreconditionError);
+  EXPECT_THROW(delta.revert(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace xlp::core

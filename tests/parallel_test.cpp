@@ -149,6 +149,31 @@ core::PortfolioOptions small_portfolio(int threads) {
   return options;
 }
 
+TEST(ParallelDeterminism, SharedEvaluationCounterIsExactUnderContention) {
+  // Portfolio chains derive their objectives from one root, so every copy
+  // shares the root's evaluation counter. Concurrent evaluate() calls (and
+  // delta-evaluator proposals) must tally exactly — the counter is a
+  // relaxed atomic; a plain long here is a data race TSan flags and a
+  // lost-update bug everywhere.
+  core::RowObjective root(8, route::HopWeights{});
+  root.reset_evaluations();
+  constexpr int kThreads = 8;
+  constexpr int kEvalsPerThread = 200;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&root, t] {
+      // Copies share the root's counter, like portfolio sub-objectives.
+      const core::RowObjective mine = root;
+      const topo::RowTopology row(8, {{0, 2 + (t % 5)}});
+      for (int i = 0; i < kEvalsPerThread; ++i) (void)mine.evaluate(row);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(root.evaluations(),
+            static_cast<long>(kThreads) * kEvalsPerThread);
+}
+
 TEST(ParallelDeterminism, PortfolioIsByteIdenticalAcrossThreadCounts) {
   const auto one = core::solve_portfolio(8, route::HopWeights{}, std::nullopt,
                                          4, small_portfolio(1), 99);
